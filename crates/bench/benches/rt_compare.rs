@@ -1,0 +1,71 @@
+//! Criterion companion to experiment T7: isolates pure per-event
+//! dispatch overhead of the two executor designs (paper §5), without the
+//! protocol's own latencies.
+//!
+//! * `direct_dispatch` — the event-based model: the handler runs inline
+//!   on the calling thread (what a single-threaded event loop does after
+//!   demultiplexing).
+//! * `mutex_hop_dispatch` — the thread-based model's unavoidable costs:
+//!   a channel hand-off to a handler thread plus a lock around the
+//!   shared state, per event.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const BATCH: usize = 1_000;
+
+/// A stand-in for protocol work per event (cheap, branchy).
+#[inline(never)]
+fn handle(state: &mut u64, ev: u64) {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(ev);
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_dispatch");
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    g.bench_function("direct_dispatch", |b| {
+        let mut state = 0u64;
+        b.iter(|| {
+            for ev in 0..BATCH as u64 {
+                handle(&mut state, ev);
+            }
+            std::hint::black_box(state)
+        })
+    });
+
+    g.bench_function("mutex_hop_dispatch", |b| {
+        // Persistent handler thread fed by a channel, state behind a
+        // mutex — the per-event costs of the thread-per-event-type
+        // design.
+        let state = Arc::new(Mutex::new(0u64));
+        let (tx, rx) = crossbeam::channel::bounded::<u64>(BATCH);
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(1);
+        let hstate = state.clone();
+        let handler = std::thread::spawn(move || {
+            let mut seen = 0usize;
+            while let Ok(ev) = rx.recv() {
+                handle(&mut hstate.lock(), ev);
+                seen += 1;
+                if seen.is_multiple_of(BATCH) {
+                    let _ = done_tx.send(());
+                }
+            }
+        });
+        b.iter(|| {
+            for ev in 0..BATCH as u64 {
+                tx.send(ev).unwrap();
+            }
+            done_rx.recv().unwrap();
+            std::hint::black_box(*state.lock())
+        });
+        drop(tx);
+        let _ = handler.join();
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

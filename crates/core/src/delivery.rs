@@ -1,0 +1,488 @@
+//! The delivery conditions of the timewheel atomic broadcast.
+//!
+//! An update is handed to the application only when three conditions hold
+//! (paper §2, detailed in \[19]):
+//!
+//! * **general** — per-sender FIFO: a proposer's updates are delivered in
+//!   proposal order (enforced via [`ProposalBuffer`]'s cursors);
+//! * **atomicity** — *weak*: none beyond receipt; *strong*: every update
+//!   the proposal can depend on (ordinal ≤ its `hdo`) has been received
+//!   by a majority of the group; *strict*: by *all* of the group
+//!   (stability);
+//! * **order** — *unordered*: none; *total*: the update's ordinal is
+//!   known and every ordered update with a smaller ordinal has been
+//!   delivered (or ruled undeliverable); *time*: the synchronized clock
+//!   has passed `send_ts + Δ_deliv` and every known time-ordered update
+//!   with a smaller timestamp has been delivered (or ruled out).
+//!
+//! All functions here are pure predicates over the member's oal, buffers
+//! and clock reading — the `Member` drives them to a fixpoint after every
+//! state change.
+
+use crate::buffers::ProposalBuffer;
+use crate::config::Config;
+use tw_proto::{Atomicity, DescriptorBody, Oal, Ordering, Ordinal, Proposal, SyncTime, View};
+
+/// Is every descriptor with ordinal ≤ `through` acknowledged by a
+/// majority of `group` (or already pruned, which implies full stability)?
+pub fn majority_through(oal: &Oal, through: Ordinal, group: &View) -> bool {
+    if through >= oal.next_ordinal() {
+        // Depends on ordinals nobody we know has assigned yet.
+        return false;
+    }
+    let mut o = oal.base();
+    while o <= through {
+        match oal.get(o) {
+            Some(d) => {
+                if !d.undeliverable && !d.acks.majority_of(group) {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+        o = o.next();
+    }
+    true
+}
+
+/// Is every descriptor with ordinal ≤ `through` stable (acknowledged by
+/// all of `group`, or pruned, or undeliverable)?
+pub fn stable_through(oal: &Oal, through: Ordinal, group: &View) -> bool {
+    if through >= oal.next_ordinal() {
+        return false;
+    }
+    oal.stable_through(through, group)
+}
+
+/// Does the atomicity condition hold for `p`?
+pub fn atomicity_ok(oal: &Oal, group: &View, p: &Proposal) -> bool {
+    match p.semantics.atomicity {
+        Atomicity::Weak => true,
+        Atomicity::Strong => majority_through(oal, p.hdo, group),
+        Atomicity::Strict => stable_through(oal, p.hdo, group),
+    }
+}
+
+/// Does the order condition hold for `p`?
+///
+/// `buf` supplies delivery/ordinal knowledge; `now` drives time-ordered
+/// release.
+pub fn order_ok(
+    oal: &Oal,
+    buf: &ProposalBuffer,
+    cfg: &Config,
+    now: SyncTime,
+    p: &Proposal,
+) -> bool {
+    let id = p.id();
+    match p.semantics.ordering {
+        Ordering::Unordered => true,
+        Ordering::Total => {
+            let Some(o) = buf.ordinal_of(id).or_else(|| oal.ordinal_of(id)) else {
+                return false; // not ordered yet
+            };
+            // Every ordered update at a smaller ordinal (still in the
+            // window) must be delivered or undeliverable. Pruned entries
+            // were stable, hence delivered everywhere that matters.
+            for (oo, d) in oal.iter() {
+                if oo >= o {
+                    break;
+                }
+                if d.undeliverable {
+                    continue;
+                }
+                if let DescriptorBody::Update {
+                    id: did, semantics, ..
+                } = &d.body
+                {
+                    if semantics.ordering == Ordering::Total && !buf.is_delivered(*did) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        Ordering::Time => {
+            if now < p.send_ts + cfg.time_delivery_latency {
+                return false;
+            }
+            // No known time-ordered update with a smaller (ts, id) may be
+            // outstanding: check both the oal window and the pending
+            // buffer (a received-but-unordered earlier update blocks).
+            let key = (p.send_ts, id);
+            for (_, d) in oal.iter() {
+                if d.undeliverable {
+                    continue;
+                }
+                if let DescriptorBody::Update {
+                    id: did,
+                    semantics,
+                    send_ts,
+                    ..
+                } = &d.body
+                {
+                    if semantics.ordering == Ordering::Time
+                        && (*send_ts, *did) < key
+                        && !buf.is_delivered(*did)
+                    {
+                        return false;
+                    }
+                }
+            }
+            for q in buf.pending() {
+                if q.semantics.ordering == Ordering::Time
+                    && (q.send_ts, q.id()) < key
+                    && q.id() != id
+                {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Full deliverability check for a pending proposal.
+pub fn deliverable(
+    oal: &Oal,
+    buf: &ProposalBuffer,
+    group: &View,
+    cfg: &Config,
+    now: SyncTime,
+    p: &Proposal,
+) -> bool {
+    let id = p.id();
+    if !buf.fifo_ready(id) {
+        return false;
+    }
+    if buf.is_locally_marked(id, now) {
+        return false;
+    }
+    // A descriptor marked undeliverable by a decider is never delivered.
+    if let Some(o) = buf.ordinal_of(id).or_else(|| oal.ordinal_of(id)) {
+        if let Some(d) = oal.get(o) {
+            if d.undeliverable {
+                return false;
+            }
+        }
+    }
+    atomicity_ok(oal, group, p) && order_ok(oal, buf, cfg, now, p)
+}
+
+/// The first deliverable pending proposal, if any (the member delivers it
+/// and re-evaluates until a fixpoint).
+pub fn next_deliverable(
+    oal: &Oal,
+    buf: &ProposalBuffer,
+    group: &View,
+    cfg: &Config,
+    now: SyncTime,
+) -> Option<tw_proto::ProposalId> {
+    buf.pending()
+        .find(|p| deliverable(oal, buf, group, cfg, now, p))
+        .map(|p| p.id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tw_proto::{Descriptor, Duration, Incarnation, ProcessId, Semantics, ViewId};
+
+    fn cfg() -> Config {
+        Config::for_team(3, Duration::from_millis(10))
+    }
+
+    fn group() -> View {
+        View::new(
+            ViewId::new(1, ProcessId(0)),
+            [ProcessId(0), ProcessId(1), ProcessId(2)],
+        )
+    }
+
+    fn prop(sender: u16, seq: u64, sem: Semantics, hdo: Ordinal, ts: i64) -> Proposal {
+        Proposal {
+            sender: ProcessId(sender),
+            incarnation: Incarnation(0),
+            seq,
+            send_ts: SyncTime(ts),
+            hdo,
+            semantics: sem,
+            payload: Bytes::from_static(b"u"),
+        }
+    }
+
+    /// Append `p` to the oal with acks from the given ranks.
+    fn ordered(oal: &mut Oal, p: &Proposal, acks: &[u16]) -> Ordinal {
+        let o = oal.append(Descriptor::update(
+            p.id(),
+            p.hdo,
+            p.semantics,
+            p.send_ts,
+            p.sender,
+        ));
+        for &r in acks {
+            oal.ack(o, ProcessId(r));
+        }
+        o
+    }
+
+    #[test]
+    fn weak_unordered_delivers_on_receipt() {
+        let oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let p = prop(0, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        buf.insert(p.clone());
+        assert!(deliverable(&oal, &buf, &group(), &cfg(), SyncTime(1), &p));
+    }
+
+    #[test]
+    fn fifo_blocks_out_of_order() {
+        let oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let p2 = prop(0, 2, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        buf.insert(p2.clone());
+        assert!(!deliverable(&oal, &buf, &group(), &cfg(), SyncTime(1), &p2));
+    }
+
+    #[test]
+    fn strong_waits_for_majority_of_dependencies() {
+        let mut oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let dep = prop(1, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        let o_dep = ordered(&mut oal, &dep, &[]); // only proposer's ack
+        let p = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Unordered, Atomicity::Strong),
+            o_dep,
+            1,
+        );
+        buf.insert(p.clone());
+        assert!(!deliverable(&oal, &buf, &g, &cfg(), SyncTime(2), &p));
+        // One more ack → 2/3 majority.
+        oal.ack(o_dep, ProcessId(2));
+        assert!(deliverable(&oal, &buf, &g, &cfg(), SyncTime(2), &p));
+    }
+
+    #[test]
+    fn strict_waits_for_full_stability() {
+        let mut oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let dep = prop(1, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        let o_dep = ordered(&mut oal, &dep, &[2]); // 2/3 acks
+        let p = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Unordered, Atomicity::Strict),
+            o_dep,
+            1,
+        );
+        buf.insert(p.clone());
+        assert!(!deliverable(&oal, &buf, &g, &cfg(), SyncTime(2), &p));
+        oal.ack(o_dep, ProcessId(0));
+        assert!(deliverable(&oal, &buf, &g, &cfg(), SyncTime(2), &p));
+    }
+
+    #[test]
+    fn unknown_dependency_blocks_strong() {
+        let oal = Oal::new(); // next ordinal = 1, nothing assigned
+        let mut buf = ProposalBuffer::new();
+        let p = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Unordered, Atomicity::Strong),
+            Ordinal(5),
+            0,
+        );
+        buf.insert(p.clone());
+        assert!(
+            !deliverable(&oal, &buf, &group(), &cfg(), SyncTime(1), &p),
+            "hdo beyond known ordinals must block"
+        );
+    }
+
+    #[test]
+    fn total_order_respects_ordinals() {
+        let mut oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let c = cfg();
+        let first = prop(
+            1,
+            1,
+            Semantics::new(Ordering::Total, Atomicity::Weak),
+            Ordinal::ZERO,
+            0,
+        );
+        let second = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Total, Atomicity::Weak),
+            Ordinal::ZERO,
+            1,
+        );
+        let o1 = ordered(&mut oal, &first, &[]);
+        let o2 = ordered(&mut oal, &second, &[]);
+        buf.learn_ordinal(first.id(), o1);
+        buf.learn_ordinal(second.id(), o2);
+        // Only `second` received so far: blocked behind undelivered o1.
+        buf.insert(second.clone());
+        assert!(!deliverable(&oal, &buf, &g, &c, SyncTime(2), &second));
+        // Receive and deliver first → second unblocks.
+        buf.insert(first.clone());
+        assert!(deliverable(&oal, &buf, &g, &c, SyncTime(2), &first));
+        buf.deliver(first.id());
+        assert!(deliverable(&oal, &buf, &g, &c, SyncTime(2), &second));
+    }
+
+    #[test]
+    fn total_order_skips_undeliverable_predecessors() {
+        let mut oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let c = cfg();
+        let first = prop(
+            1,
+            1,
+            Semantics::new(Ordering::Total, Atomicity::Weak),
+            Ordinal::ZERO,
+            0,
+        );
+        let second = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Total, Atomicity::Weak),
+            Ordinal::ZERO,
+            1,
+        );
+        let o1 = ordered(&mut oal, &first, &[]);
+        let o2 = ordered(&mut oal, &second, &[]);
+        oal.mark_undeliverable(o1);
+        buf.learn_ordinal(second.id(), o2);
+        buf.insert(second.clone());
+        assert!(deliverable(&oal, &buf, &g, &c, SyncTime(2), &second));
+    }
+
+    #[test]
+    fn unordered_updates_do_not_block_total() {
+        let mut oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let c = cfg();
+        // An unordered update sits at a smaller ordinal, undelivered.
+        let u = prop(1, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        ordered(&mut oal, &u, &[]);
+        let t = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Total, Atomicity::Weak),
+            Ordinal::ZERO,
+            1,
+        );
+        let ot = ordered(&mut oal, &t, &[]);
+        buf.learn_ordinal(t.id(), ot);
+        buf.insert(t.clone());
+        assert!(deliverable(&oal, &buf, &g, &c, SyncTime(2), &t));
+    }
+
+    #[test]
+    fn time_order_waits_for_latency() {
+        let oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let c = cfg();
+        let p = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Time, Atomicity::Weak),
+            Ordinal::ZERO,
+            1_000,
+        );
+        buf.insert(p.clone());
+        let before = SyncTime(1_000) + c.time_delivery_latency - Duration(1);
+        let after = SyncTime(1_000) + c.time_delivery_latency;
+        assert!(!deliverable(&oal, &buf, &g, &c, before, &p));
+        assert!(deliverable(&oal, &buf, &g, &c, after, &p));
+    }
+
+    #[test]
+    fn time_order_is_timestamp_ordered() {
+        let oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let c = cfg();
+        let early = prop(
+            1,
+            1,
+            Semantics::new(Ordering::Time, Atomicity::Weak),
+            Ordinal::ZERO,
+            500,
+        );
+        let late = prop(
+            0,
+            1,
+            Semantics::new(Ordering::Time, Atomicity::Weak),
+            Ordinal::ZERO,
+            1_000,
+        );
+        buf.insert(early.clone());
+        buf.insert(late.clone());
+        let t = SyncTime(1_000) + c.time_delivery_latency;
+        // `late` blocked behind undelivered `early`.
+        assert!(!deliverable(&oal, &buf, &g, &c, t, &late));
+        assert!(deliverable(&oal, &buf, &g, &c, t, &early));
+        buf.deliver(early.id());
+        assert!(deliverable(&oal, &buf, &g, &c, t, &late));
+    }
+
+    #[test]
+    fn locally_marked_blocks_delivery() {
+        let oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let p = prop(0, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        buf.insert(p.clone());
+        buf.mark_local(p.id(), SyncTime(100));
+        assert!(!deliverable(&oal, &buf, &group(), &cfg(), SyncTime(50), &p));
+        assert!(deliverable(&oal, &buf, &group(), &cfg(), SyncTime(101), &p));
+    }
+
+    #[test]
+    fn decider_undeliverable_mark_blocks_forever() {
+        let mut oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let p = prop(0, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        let o = ordered(&mut oal, &p, &[]);
+        buf.learn_ordinal(p.id(), o);
+        oal.mark_undeliverable(o);
+        buf.insert(p.clone());
+        assert!(!deliverable(
+            &oal,
+            &buf,
+            &group(),
+            &cfg(),
+            SyncTime(9_999_999),
+            &p
+        ));
+    }
+
+    #[test]
+    fn next_deliverable_walks_pending() {
+        let oal = Oal::new();
+        let mut buf = ProposalBuffer::new();
+        let g = group();
+        let c = cfg();
+        let a = prop(0, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0);
+        let b = prop(1, 2, Semantics::UNORDERED_WEAK, Ordinal::ZERO, 0); // FIFO-blocked
+        buf.insert(a.clone());
+        buf.insert(b);
+        assert_eq!(
+            next_deliverable(&oal, &buf, &g, &c, SyncTime(1)),
+            Some(a.id())
+        );
+        buf.deliver(a.id());
+        assert_eq!(next_deliverable(&oal, &buf, &g, &c, SyncTime(1)), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! The failure detector: expected-sender surveillance and alive-lists.
+//!
+//! The paper's detector (§4.2) is an attendance-list scheme proven
+//! message-minimal \[6]: during failure-free periods *nothing extra* is
+//! sent — the detector merely checks that the decider rotation keeps
+//! producing control messages. It maintains:
+//!
+//! * an **alive-list** — every team member from which a control message
+//!   arrived within the last `N` slots (plus the owner itself); and
+//! * an **expected sender** — after accepting a control message with
+//!   timestamp `ts` from the rotation, the next member in the ring must
+//!   produce one with a greater timestamp before `ts + timeout`, else it
+//!   is *suspected* and the group creator is informed.
+//!
+//! Both are unreliable by design: alive-lists may contain crashed
+//! processes or miss live ones, and different detectors may disagree —
+//! agreement is the group creator's job, not the detector's.
+
+use std::collections::BTreeMap;
+use tw_proto::{AliveList, Duration, ProcessId, SyncTime};
+
+/// Tracks who has been heard from, and rejects stale/duplicate control
+/// messages by send timestamp (paper §4.2: "we assume that processes
+/// reject duplicate or old control messages").
+#[derive(Debug, Clone, Default)]
+pub struct AliveTracker {
+    last_heard: BTreeMap<ProcessId, SyncTime>,
+}
+
+impl AliveTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a control message from `p` with send timestamp `ts` if it
+    /// is fresher than anything seen from `p`. Returns false (reject) for
+    /// duplicates and stale messages.
+    pub fn record_if_fresh(&mut self, p: ProcessId, ts: SyncTime) -> bool {
+        match self.last_heard.get(&p) {
+            Some(&prev) if ts <= prev => false,
+            _ => {
+                self.last_heard.insert(p, ts);
+                true
+            }
+        }
+    }
+
+    /// Last control-message timestamp heard from `p`.
+    pub fn last_heard(&self, p: ProcessId) -> Option<SyncTime> {
+        self.last_heard.get(&p).copied()
+    }
+
+    /// The alive-list at `now`: `me` plus every process heard from within
+    /// `window` (the member passes `N` slot lengths, per §4.2).
+    pub fn alive_list(&self, me: ProcessId, now: SyncTime, window: Duration) -> AliveList {
+        let mut list = AliveList::EMPTY;
+        list.set(me);
+        for (&p, &ts) in &self.last_heard {
+            if now - ts <= window {
+                list.set(p);
+            }
+        }
+        list
+    }
+
+    /// Forget everything (crash recovery).
+    pub fn clear(&mut self) {
+        self.last_heard.clear();
+    }
+}
+
+/// The expected-sender watchdog.
+#[derive(Debug, Clone, Default)]
+pub struct ExpectedSender {
+    expected: Option<ProcessId>,
+    last_ts: SyncTime,
+    deadline: SyncTime,
+}
+
+impl ExpectedSender {
+    /// No expectation (join state, or between groups).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm: after accepting a control message with timestamp `base_ts`,
+    /// expect the next one from `next` with a greater timestamp before
+    /// `base_ts + timeout`.
+    pub fn arm(&mut self, next: ProcessId, base_ts: SyncTime, timeout: Duration) {
+        self.expected = Some(next);
+        self.last_ts = base_ts;
+        self.deadline = base_ts + timeout;
+    }
+
+    /// Stop watching.
+    pub fn disarm(&mut self) {
+        self.expected = None;
+    }
+
+    /// Who we are waiting for, if anyone.
+    pub fn expected(&self) -> Option<ProcessId> {
+        self.expected
+    }
+
+    /// Timestamp of the last accepted control message in the rotation.
+    pub fn last_ts(&self) -> SyncTime {
+        self.last_ts
+    }
+
+    /// The current deadline.
+    pub fn deadline(&self) -> SyncTime {
+        self.deadline
+    }
+
+    /// Would a control message from `p` with timestamp `ts` satisfy the
+    /// current expectation? (right sender, fresher timestamp)
+    pub fn satisfied_by(&self, p: ProcessId, ts: SyncTime) -> bool {
+        self.expected == Some(p) && ts > self.last_ts
+    }
+
+    /// If the deadline has passed, return the suspect (the expected
+    /// sender) — a *timeout failure* in the paper's terms.
+    pub fn timed_out(&self, now: SyncTime) -> Option<ProcessId> {
+        match self.expected {
+            Some(p) if now > self.deadline => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_then_stale() {
+        let mut t = AliveTracker::new();
+        assert!(t.record_if_fresh(ProcessId(1), SyncTime(10)));
+        assert!(!t.record_if_fresh(ProcessId(1), SyncTime(10)), "duplicate");
+        assert!(!t.record_if_fresh(ProcessId(1), SyncTime(5)), "stale");
+        assert!(t.record_if_fresh(ProcessId(1), SyncTime(11)));
+        assert_eq!(t.last_heard(ProcessId(1)), Some(SyncTime(11)));
+    }
+
+    #[test]
+    fn alive_list_windows_out_old_entries() {
+        let mut t = AliveTracker::new();
+        t.record_if_fresh(ProcessId(1), SyncTime(0));
+        t.record_if_fresh(ProcessId(2), SyncTime(90));
+        let list = t.alive_list(ProcessId(0), SyncTime(100), Duration(50));
+        assert!(list.contains(ProcessId(0)), "self always included");
+        assert!(!list.contains(ProcessId(1)), "too old");
+        assert!(list.contains(ProcessId(2)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = AliveTracker::new();
+        t.record_if_fresh(ProcessId(1), SyncTime(5));
+        t.clear();
+        assert_eq!(t.last_heard(ProcessId(1)), None);
+        // After clear, older timestamps are fresh again (new incarnation).
+        assert!(t.record_if_fresh(ProcessId(1), SyncTime(3)));
+    }
+
+    #[test]
+    fn watchdog_times_out_only_past_deadline() {
+        let mut w = ExpectedSender::new();
+        w.arm(ProcessId(2), SyncTime(100), Duration(50));
+        assert_eq!(w.timed_out(SyncTime(150)), None, "at deadline: not yet");
+        assert_eq!(w.timed_out(SyncTime(151)), Some(ProcessId(2)));
+        w.disarm();
+        assert_eq!(w.timed_out(SyncTime(1_000)), None);
+    }
+
+    #[test]
+    fn satisfaction_needs_sender_and_fresh_ts() {
+        let mut w = ExpectedSender::new();
+        w.arm(ProcessId(2), SyncTime(100), Duration(50));
+        assert!(w.satisfied_by(ProcessId(2), SyncTime(120)));
+        assert!(!w.satisfied_by(ProcessId(1), SyncTime(120)), "wrong sender");
+        assert!(!w.satisfied_by(ProcessId(2), SyncTime(100)), "not fresher");
+    }
+
+    #[test]
+    fn rearming_moves_the_deadline() {
+        let mut w = ExpectedSender::new();
+        w.arm(ProcessId(1), SyncTime(0), Duration(50));
+        w.arm(ProcessId(2), SyncTime(40), Duration(50));
+        assert_eq!(w.timed_out(SyncTime(60)), None);
+        assert_eq!(w.expected(), Some(ProcessId(2)));
+        assert_eq!(w.timed_out(SyncTime(91)), Some(ProcessId(2)));
+    }
+}

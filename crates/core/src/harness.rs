@@ -1,0 +1,343 @@
+//! Hosting the protocol on the deterministic simulator.
+//!
+//! [`SimMember`] adapts a [`Member`] to [`tw_sim::Actor`], recording
+//! everything experiments need (deliveries, view installations, leave
+//! events) with hardware timestamps. [`team_world`] builds a whole team
+//! in one call; the integration tests and every experiment binary go
+//! through it.
+
+use crate::config::Config;
+use crate::events::{Action, Delivery, LeaveReason};
+use crate::member::Member;
+use tw_proto::{Duration, HwTime, Msg, ProcessId, View};
+use tw_sim::{Actor, ClockConfig, Ctx, LinkModel, World, WorldConfig};
+
+/// Timer token for the fixed-period protocol tick.
+const TICK: u64 = 1;
+/// Timer token for the clock-synchronization resync tick.
+const CLOCK_TICK: u64 = 2;
+
+/// What the application hook is called with.
+#[derive(Debug)]
+pub enum AppEvent<'a> {
+    /// An update was delivered (apply it).
+    Deliver(&'a Delivery),
+    /// A join-time snapshot arrived (replace the application state).
+    InstallSnapshot(&'a bytes::Bytes),
+}
+
+/// Application hook: invoked synchronously on every delivery and on
+/// join-time snapshot installation; a `Some(snapshot)` return value
+/// becomes the member's fresh application snapshot (shipped to joiners
+/// in state transfers), keeping snapshot and delivery stream consistent
+/// by construction.
+pub type DeliveryHook = Box<dyn FnMut(AppEvent<'_>) -> Option<bytes::Bytes>>;
+
+/// A [`Member`] wired to the simulator, with an experiment log.
+pub struct SimMember {
+    /// The protocol state machine.
+    pub member: Member,
+    /// Every delivered update, with the local hardware receive time.
+    pub deliveries: Vec<(HwTime, Delivery)>,
+    /// The view this member was in at each delivery (aligned with
+    /// `deliveries`) — lets checkers scope agreement to *completed*
+    /// majority groups, the paper's §3 guarantee.
+    pub delivery_views: Vec<tw_proto::ViewId>,
+    /// Every installed view, with the local hardware time.
+    pub views: Vec<(HwTime, View)>,
+    /// Every departure to join state.
+    pub leaves: Vec<(HwTime, LeaveReason)>,
+    /// Optional application layered on the delivery stream.
+    pub on_deliver: Option<DeliveryHook>,
+}
+
+impl SimMember {
+    /// Wrap a member.
+    pub fn new(member: Member) -> Self {
+        SimMember {
+            member,
+            deliveries: Vec::new(),
+            delivery_views: Vec::new(),
+            views: Vec::new(),
+            leaves: Vec::new(),
+            on_deliver: None,
+        }
+    }
+
+    /// Attach an application hook (see [`DeliveryHook`]).
+    pub fn with_hook(mut self, hook: DeliveryHook) -> Self {
+        self.on_deliver = Some(hook);
+        self
+    }
+
+    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now_hw();
+        for a in actions {
+            match a {
+                Action::Broadcast(m) => ctx.broadcast(m),
+                Action::Send(to, m) => ctx.send(to, m),
+                Action::ScheduleClockTick(d) => {
+                    ctx.set_timer(d, CLOCK_TICK);
+                }
+                Action::Deliver(d) => {
+                    if let Some(hook) = &mut self.on_deliver {
+                        if let Some(snapshot) = hook(AppEvent::Deliver(&d)) {
+                            self.member.set_app_snapshot(snapshot);
+                        }
+                    }
+                    self.delivery_views.push(self.member.view().id);
+                    self.deliveries.push((now, d));
+                }
+                Action::InstallAppState(b) => {
+                    if let Some(hook) = &mut self.on_deliver {
+                        if let Some(snapshot) = hook(AppEvent::InstallSnapshot(&b)) {
+                            self.member.set_app_snapshot(snapshot);
+                        }
+                    }
+                }
+                Action::InstallView(v) => self.views.push((now, v)),
+                Action::LeftGroup { reason } => self.leaves.push((now, reason)),
+            }
+        }
+    }
+
+    fn arm_tick(&self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(self.member.config().tick, TICK);
+    }
+}
+
+impl Actor for SimMember {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let actions = self.member.on_start(ctx.now_hw());
+        self.apply(actions, ctx);
+        self.arm_tick(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let actions = self.member.on_recover(ctx.now_hw());
+        self.apply(actions, ctx);
+        self.arm_tick(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
+        let actions = self.member.on_message(ctx.now_hw(), from, msg);
+        self.apply(actions, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        match token {
+            TICK => {
+                let actions = self.member.on_tick(ctx.now_hw());
+                self.apply(actions, ctx);
+                self.arm_tick(ctx);
+            }
+            CLOCK_TICK => {
+                let actions = self.member.on_clock_tick(ctx.now_hw());
+                self.apply(actions, ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parameters for building a simulated team.
+#[derive(Debug, Clone)]
+pub struct TeamParams {
+    /// Team size.
+    pub n: usize,
+    /// One-way timeout δ.
+    pub delta: Duration,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Network model (its `max_timely_delay()` should be ≤ δ).
+    pub link: LinkModel,
+    /// Hardware clock drift magnitude; process `i` gets
+    /// `±drift_ppm` alternating, so clocks genuinely diverge.
+    pub drift_ppm: f64,
+    /// Override the derived protocol config (for ablations).
+    pub config: Option<Config>,
+}
+
+impl TeamParams {
+    /// Defaults: δ = 10 ms LAN, ±50 ppm drift.
+    pub fn new(n: usize) -> Self {
+        TeamParams {
+            n,
+            delta: Duration::from_millis(10),
+            seed: 42,
+            link: LinkModel::default(),
+            drift_ppm: 50.0,
+            config: None,
+        }
+    }
+
+    /// Set the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the link model.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// The protocol configuration this team will run.
+    pub fn protocol_config(&self) -> Config {
+        self.config
+            .unwrap_or_else(|| Config::for_team(self.n, self.delta))
+    }
+}
+
+/// Build a world with `params.n` members, each running the full protocol
+/// stack. Call `world.run_until(..)` to execute.
+pub fn team_world(params: &TeamParams) -> World<SimMember> {
+    let cfg = params.protocol_config();
+    let mut world = World::new(WorldConfig {
+        seed: params.seed,
+        link: params.link,
+        sched_jitter: Duration::ZERO,
+        trace: false,
+    });
+    for i in 0..params.n {
+        let pid = ProcessId(i as u16);
+        let member = Member::new_unchecked(pid, cfg);
+        let drift = if i % 2 == 0 {
+            params.drift_ppm
+        } else {
+            -params.drift_ppm
+        };
+        world.add_process(SimMember::new(member), ClockConfig::with_drift_ppm(drift));
+    }
+    world
+}
+
+/// Step the world until `pred` holds or `deadline` passes. Returns the
+/// time the predicate first held.
+pub fn run_until_pred<F>(
+    world: &mut World<SimMember>,
+    deadline: tw_sim::SimTime,
+    mut pred: F,
+) -> Option<tw_sim::SimTime>
+where
+    F: FnMut(&World<SimMember>) -> bool,
+{
+    loop {
+        if pred(world) {
+            return Some(world.now());
+        }
+        if world.now() >= deadline {
+            return None;
+        }
+        if !world.step() {
+            return if pred(world) { Some(world.now()) } else { None };
+        }
+    }
+}
+
+/// Convenience predicate: every live member is in failure-free state with
+/// a view of exactly `members` size.
+pub fn all_in_group(world: &World<SimMember>, expect_members: usize) -> bool {
+    (0..world.len()).all(|i| {
+        let p = ProcessId(i as u16);
+        if world.status(p) != tw_sim::ProcessStatus::Up {
+            return true;
+        }
+        let m = &world.actor(p).member;
+        m.state() == crate::member::CreatorState::FailureFree && m.view().len() == expect_members
+    })
+}
+
+/// Convenience predicate: all live members that are in a group share the
+/// same view id, and at least `min_members` are in a group.
+pub fn group_agreed(world: &World<SimMember>, min_members: usize) -> bool {
+    let mut ids = std::collections::BTreeSet::new();
+    let mut count = 0;
+    for i in 0..world.len() {
+        let p = ProcessId(i as u16);
+        if world.status(p) != tw_sim::ProcessStatus::Up {
+            continue;
+        }
+        let m = &world.actor(p).member;
+        if m.state() == crate::member::CreatorState::FailureFree && !m.view().is_empty() {
+            ids.insert(m.view().id);
+            count += 1;
+        }
+    }
+    ids.len() == 1 && count >= min_members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_sim::SimTime;
+
+    #[test]
+    fn team_world_builds_n_processes() {
+        let w = team_world(&TeamParams::new(3));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn initial_group_forms_on_simulator() {
+        let params = TeamParams::new(3);
+        let mut w = team_world(&params);
+        let formed = run_until_pred(&mut w, SimTime::from_secs(10), |w| all_in_group(w, 3));
+        assert!(formed.is_some(), "3-team never formed a group");
+        // All three installed the same view.
+        let v0 = w.actor(ProcessId(0)).member.view().clone();
+        for i in 1..3u16 {
+            assert_eq!(w.actor(ProcessId(i)).member.view(), &v0);
+        }
+        assert!(v0.is_majority_of(3));
+    }
+
+    #[test]
+    fn formation_time_is_a_few_cycles() {
+        let params = TeamParams::new(5);
+        let cfg = params.protocol_config();
+        let mut w = team_world(&params);
+        let formed =
+            run_until_pred(&mut w, SimTime::from_secs(30), |w| all_in_group(w, 5)).unwrap();
+        // Formation should take at most ~4 cycles (clock sync + 2 join
+        // rounds + settle).
+        assert!(
+            formed.as_micros() <= cfg.cycle().as_micros() * 5,
+            "took {formed} (cycle = {})",
+            cfg.cycle()
+        );
+    }
+
+    #[test]
+    fn decider_rotation_keeps_running_failure_free() {
+        let params = TeamParams::new(3);
+        let mut w = team_world(&params);
+        run_until_pred(&mut w, SimTime::from_secs(10), |w| all_in_group(w, 3)).unwrap();
+        w.reset_stats();
+        w.run_for(Duration::from_secs(10));
+        let s = w.stats();
+        assert!(s.kind("decision").sends > 50, "rotation stalled");
+        assert_eq!(s.kind("no-decision").sends, 0);
+        assert_eq!(s.kind("reconfig").sends, 0);
+        assert_eq!(s.kind("join").sends, 0);
+        // Everyone is still in the same group.
+        assert!(all_in_group(&w, 3));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let params = TeamParams::new(3).seed(seed);
+            let mut w = team_world(&params);
+            w.run_until(SimTime::from_secs(8));
+            (
+                w.stats().kind("decision").sends,
+                w.actor(ProcessId(0)).member.views_installed(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,377 @@
+//! Broadcast-side behaviour of a member: proposing updates, buffering
+//! received proposals, driving deliveries, and join-time state transfer.
+
+use super::{CreatorState, Member};
+use crate::delivery;
+use crate::events::Action;
+use bytes::Bytes;
+use tw_proto::{HwTime, Msg, ProcessId, Proposal, Semantics, StateTransfer, SyncTime};
+
+/// Why a propose call was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposeError {
+    /// The member is not currently in a group.
+    NotMember,
+    /// The member's clock is not synchronized.
+    NotSynced,
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProposeError::NotMember => "not a group member",
+            ProposeError::NotSynced => "clock not synchronized",
+        })
+    }
+}
+
+impl std::error::Error for ProposeError {}
+
+impl Member {
+    /// Broadcast a client update with the given semantics.
+    ///
+    /// A broadcast may be initiated by a member at any time (paper §2);
+    /// the update's `hdo` is the highest ordinal this member currently
+    /// knows, which is what its delivery may be predicated on.
+    pub fn propose(
+        &mut self,
+        now_hw: HwTime,
+        payload: Bytes,
+        semantics: Semantics,
+    ) -> Result<Vec<Action>, ProposeError> {
+        let now = self.clock.read(now_hw).ok_or(ProposeError::NotSynced)?;
+        if self.view.is_empty() || !self.view.contains(self.pid) {
+            return Err(ProposeError::NotMember);
+        }
+        self.my_seq += 1;
+        let send_ts = self.stamp(now);
+        let hdo = self
+            .oal
+            .highest_ordinal()
+            .unwrap_or(tw_proto::Ordinal::ZERO);
+        let p = Proposal {
+            sender: self.pid,
+            incarnation: self.incarnation,
+            seq: self.my_seq,
+            send_ts,
+            hdo,
+            semantics,
+            payload,
+        };
+        let mut actions = vec![Action::Broadcast(Msg::Proposal(p.clone()))];
+        self.buf.insert(p);
+        self.try_deliver(now, &mut actions);
+        Ok(actions)
+    }
+
+    /// Store a received proposal; §4.3 marks apply if it arrives from a
+    /// currently suspected process after we asked for its removal.
+    pub(crate) fn handle_proposal(&mut self, now: SyncTime, p: Proposal, _actions: &mut [Action]) {
+        let id = p.id();
+        if !self.buf.insert(p) {
+            return;
+        }
+        // "p marks all those proposals undeliverable that are proposed by
+        // q and are received after p has sent the no-decision or
+        // reconfiguration message" (§4.3).
+        if let (Some(suspect), Some(_)) = (self.suspect, self.sent_nd_at) {
+            if id.proposer == suspect {
+                self.buf.mark_local(id, now + self.cfg.cycle());
+            }
+        }
+    }
+
+    /// Drive deliveries to a fixpoint.
+    pub(crate) fn try_deliver(&mut self, now: SyncTime, actions: &mut Vec<Action>) {
+        if self.view.is_empty() {
+            return;
+        }
+        while let Some(id) =
+            delivery::next_deliverable(&self.oal, &self.buf, &self.view, &self.cfg, now)
+        {
+            let p = self.buf.deliver(id);
+            let ordinal = self.buf.ordinal_of(id).or_else(|| self.oal.ordinal_of(id));
+            if ordinal.is_none() {
+                // Delivered before ordering: remember its descriptor for
+                // the dpd field of control messages (§4.3).
+                self.dpd_descs.insert(id, p.desc());
+            }
+            self.delivered_count += 1;
+            actions.push(Action::Deliver(crate::events::Delivery {
+                id,
+                ordinal,
+                semantics: p.semantics,
+                send_ts: p.send_ts,
+                payload: p.payload,
+            }));
+        }
+    }
+
+    /// Current `dpd` field content: descriptors of updates delivered
+    /// before any decider ordered them.
+    pub(crate) fn dpd_field(&self) -> Vec<tw_proto::UpdateDesc> {
+        self.dpd_descs.values().copied().collect()
+    }
+
+    /// Join-time state transfer from the integrating decider. Accepted in
+    /// join state, or just after (the integrating decision may outrace
+    /// the transfer on the wire) when it names our current view.
+    pub(crate) fn handle_state_transfer(
+        &mut self,
+        _now: SyncTime,
+        st: StateTransfer,
+        actions: &mut Vec<Action>,
+    ) {
+        let acceptable = self.state == CreatorState::Join || st.view_id == self.view.id;
+        if st.to != self.pid || !acceptable || self.transferred_state.is_some() {
+            return;
+        }
+        actions.push(Action::InstallAppState(st.app_state.clone()));
+        self.transferred_state = Some(st.app_state);
+        for (p, next) in st.fifo {
+            self.buf.set_fifo_cursor(p, next);
+        }
+        for p in st.proposals {
+            self.buf.insert(p);
+        }
+        // Assignments of shipped proposals already outside the oal
+        // window: learn them so they are never re-ordered.
+        for (id, o) in st.ordinals {
+            self.buf.learn_ordinal(id, o);
+        }
+    }
+
+    /// Periodic loss repair: if the oal orders proposals we never
+    /// received, ask a member that acknowledged them to retransmit
+    /// (rate-limited to one request per proposal per `2D`).
+    pub(crate) fn maybe_nack(&mut self, now: SyncTime, actions: &mut Vec<Action>) {
+        use tw_proto::DescriptorBody;
+        let retry = self.cfg.big_d * 2;
+        let mut requests: std::collections::BTreeMap<ProcessId, Vec<tw_proto::ProposalId>> =
+            std::collections::BTreeMap::new();
+        for (_, desc) in self.oal.iter() {
+            let DescriptorBody::Update { id, .. } = &desc.body else {
+                continue;
+            };
+            if desc.undeliverable
+                || self.buf.has_received(*id)
+                || self.buf.is_locally_marked(*id, now)
+            {
+                continue;
+            }
+            if let Some(&last) = self.nack_last.get(id) {
+                if now - last < retry {
+                    continue;
+                }
+            }
+            // Ask the lowest-ranked acknowledged holder (≠ me).
+            let holder = self
+                .view
+                .members
+                .iter()
+                .copied()
+                .find(|m| *m != self.pid && desc.acks.contains(*m));
+            if let Some(h) = holder {
+                self.nack_last.insert(*id, now);
+                requests.entry(h).or_default().push(*id);
+            }
+        }
+        for (holder, missing) in requests {
+            let send_ts = self.stamp(now);
+            actions.push(Action::Send(
+                holder,
+                Msg::Nack(tw_proto::Nack {
+                    sender: self.pid,
+                    send_ts,
+                    missing,
+                }),
+            ));
+        }
+    }
+
+    /// Answer a retransmission request with whatever we still hold.
+    pub(crate) fn handle_nack(&mut self, nack: tw_proto::Nack, actions: &mut Vec<Action>) {
+        for id in nack.missing {
+            if let Some(p) = self.buf.retrieve(id) {
+                actions.push(Action::Send(nack.sender, Msg::Proposal(p.clone())));
+            }
+        }
+    }
+
+    /// Build the state transfer for a joiner (decider side).
+    pub(crate) fn build_state_transfer(&self, to: ProcessId) -> StateTransfer {
+        let proposals: Vec<_> = self.buf.pending().cloned().collect();
+        let ordinals = proposals
+            .iter()
+            .filter_map(|p| self.buf.ordinal_of(p.id()).map(|o| (p.id(), o)))
+            .collect();
+        StateTransfer {
+            sender: self.pid,
+            to,
+            view_id: self.view.id,
+            app_state: self.app_snapshot.clone(),
+            proposals,
+            fifo: self.buf.fifo_cursors(),
+            ordinals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use tw_proto::{Duration, View, ViewId};
+
+    fn synced_member(pid: u16) -> Member {
+        let mut m = Member::new(
+            tw_proto::ProcessId(pid),
+            Config::for_team(3, Duration::from_millis(10)),
+        )
+        .unwrap();
+        m.on_start(HwTime(0));
+        m.force_clock_sync();
+        m
+    }
+
+    /// Force p into a group with a synchronized clock (unit-test shortcut;
+    /// integration tests build groups the honest way).
+    fn in_group(m: &mut Member) {
+        m.view = View::new(
+            ViewId::new(1, tw_proto::ProcessId(0)),
+            [
+                tw_proto::ProcessId(0),
+                tw_proto::ProcessId(1),
+                tw_proto::ProcessId(2),
+            ],
+        );
+        m.state = CreatorState::FailureFree;
+    }
+
+    #[test]
+    fn propose_requires_sync() {
+        let mut m = Member::new(
+            tw_proto::ProcessId(1),
+            Config::for_team(3, Duration::from_millis(10)),
+        )
+        .unwrap();
+        m.on_start(HwTime(0)); // rank 1: unsynced at start
+        in_group(&mut m);
+        let r = m.propose(
+            HwTime(1),
+            Bytes::from_static(b"x"),
+            Semantics::UNORDERED_WEAK,
+        );
+        assert_eq!(r.unwrap_err(), ProposeError::NotSynced);
+    }
+
+    #[test]
+    fn propose_requires_membership() {
+        let mut m = synced_member(0); // rank 0: source, synced
+        let r = m.propose(
+            HwTime(1),
+            Bytes::from_static(b"x"),
+            Semantics::UNORDERED_WEAK,
+        );
+        assert_eq!(r.unwrap_err(), ProposeError::NotMember);
+    }
+
+    #[test]
+    fn propose_broadcasts_and_self_delivers_weak() {
+        let mut m = synced_member(0);
+        in_group(&mut m);
+        let actions = m
+            .propose(
+                HwTime(1),
+                Bytes::from_static(b"x"),
+                Semantics::UNORDERED_WEAK,
+            )
+            .unwrap();
+        assert!(matches!(actions[0], Action::Broadcast(Msg::Proposal(_))));
+        // Weak unordered: own update delivers immediately.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(d) if d.payload == Bytes::from_static(b"x"))));
+        assert_eq!(m.delivered_count(), 1);
+    }
+
+    #[test]
+    fn propose_seq_increments() {
+        let mut m = synced_member(0);
+        in_group(&mut m);
+        m.propose(HwTime(1), Bytes::new(), Semantics::UNORDERED_WEAK)
+            .unwrap();
+        m.propose(HwTime(2), Bytes::new(), Semantics::UNORDERED_WEAK)
+            .unwrap();
+        assert_eq!(m.my_seq, 2);
+    }
+
+    #[test]
+    fn delivered_before_ordering_lands_in_dpd() {
+        let mut m = synced_member(0);
+        in_group(&mut m);
+        m.propose(
+            HwTime(1),
+            Bytes::from_static(b"x"),
+            Semantics::UNORDERED_WEAK,
+        )
+        .unwrap();
+        assert_eq!(m.dpd_field().len(), 1);
+    }
+
+    #[test]
+    fn state_transfer_only_for_me_in_join() {
+        let mut m = synced_member(0);
+        let st = StateTransfer {
+            sender: tw_proto::ProcessId(1),
+            to: tw_proto::ProcessId(2), // not me
+            view_id: ViewId::new(1, tw_proto::ProcessId(1)),
+            app_state: Bytes::from_static(b"s"),
+            proposals: vec![],
+            fifo: vec![],
+            ordinals: vec![],
+        };
+        m.handle_state_transfer(SyncTime(0), st.clone(), &mut Vec::new());
+        assert!(m.take_transferred_state().is_none());
+        let st2 = StateTransfer {
+            to: tw_proto::ProcessId(0),
+            ..st
+        };
+        m.handle_state_transfer(SyncTime(0), st2, &mut Vec::new());
+        assert_eq!(m.take_transferred_state(), Some(Bytes::from_static(b"s")));
+    }
+
+    #[test]
+    fn build_state_transfer_carries_pending_and_fifo() {
+        let mut m = synced_member(0);
+        in_group(&mut m);
+        m.propose(HwTime(1), Bytes::from_static(b"x"), Semantics::TOTAL_STRONG)
+            .unwrap(); // total: stays pending (no ordinal yet)
+        let st = m.build_state_transfer(tw_proto::ProcessId(2));
+        assert_eq!(st.proposals.len(), 1);
+        assert_eq!(st.to, tw_proto::ProcessId(2));
+    }
+
+    #[test]
+    fn proposal_from_suspect_after_nd_marked() {
+        let mut m = synced_member(0);
+        in_group(&mut m);
+        m.suspect = Some(tw_proto::ProcessId(1));
+        m.sent_nd_at = Some(SyncTime(0));
+        let p = Proposal {
+            sender: tw_proto::ProcessId(1),
+            incarnation: tw_proto::Incarnation(0),
+            seq: 1,
+            send_ts: SyncTime(1),
+            hdo: tw_proto::Ordinal::ZERO,
+            semantics: Semantics::UNORDERED_WEAK,
+            payload: Bytes::new(),
+        };
+        m.handle_proposal(SyncTime(2), p.clone(), &mut []);
+        assert!(m.buf.is_locally_marked(p.id(), SyncTime(3)));
+        // And therefore not delivered by try_deliver.
+        let mut actions = Vec::new();
+        m.try_deliver(SyncTime(3), &mut actions);
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! §4.3 — classification and marking of undeliverable proposals.
+//!
+//! When a membership change removes processes, some in-flight updates can
+//! never be delivered without violating the ordering/atomicity semantics.
+//! The *new decider*, holding the freshest oal (merged from the views in
+//! the no-decision/reconfiguration messages that elected it), marks four
+//! categories of descriptors undeliverable — after which every member
+//! purges the corresponding proposals:
+//!
+//! 1. **lost** — proposed by a departed member and received by *no*
+//!    member of the new group;
+//! 2. **orphan-order** — total/time-ordered, from the same departed
+//!    proposer as an earlier undeliverable update (FIFO would break);
+//! 3. **orphan-atomicity** — strong/strict, depending (via `hdo`) on an
+//!    undeliverable update (the dependency can never be satisfied);
+//! 4. **unknown-dependency** — strong/strict with an `hdo` beyond the
+//!    highest ordinal any surviving member knows (the departed decider
+//!    ordered updates in a decision nobody received).
+//!
+//! The paper scopes categories 1–2 to departed proposers explicitly;
+//! categories 3–4 are applied to *any* proposer here, because a surviving
+//! member's update whose dependency is lost is just as undeliverable —
+//! see DESIGN.md for the interpretation note.
+
+use std::collections::{BTreeMap, BTreeSet};
+use tw_proto::{DescriptorBody, Oal, Ordering, Ordinal, ProcessId, ProposalId, View};
+
+/// What was marked, by category — reported by experiments (T9).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Category 1.
+    pub lost: Vec<(Ordinal, ProposalId)>,
+    /// Category 2.
+    pub orphan_order: Vec<(Ordinal, ProposalId)>,
+    /// Category 3.
+    pub orphan_atomicity: Vec<(Ordinal, ProposalId)>,
+    /// Category 4.
+    pub unknown_dependency: Vec<(Ordinal, ProposalId)>,
+}
+
+impl PurgeReport {
+    /// Total marked descriptors.
+    pub fn total(&self) -> usize {
+        self.lost.len()
+            + self.orphan_order.len()
+            + self.orphan_atomicity.len()
+            + self.unknown_dependency.len()
+    }
+
+    /// All marked proposal ids.
+    pub fn all_ids(&self) -> impl Iterator<Item = ProposalId> + '_ {
+        self.lost
+            .iter()
+            .chain(&self.orphan_order)
+            .chain(&self.orphan_atomicity)
+            .chain(&self.unknown_dependency)
+            .map(|(_, id)| *id)
+    }
+}
+
+/// Mark undeliverable descriptors in `oal` for a membership change from
+/// which `departed` processes were removed and `new_group` survives.
+///
+/// Must be called on the merged oal (all new members' acknowledgement
+/// views folded in) **before** the new decider appends `dpd` proposals or
+/// the membership descriptor, so the "highest known ordinal" is the old
+/// deciders' frontier.
+pub fn mark_undeliverables(
+    oal: &mut Oal,
+    new_group: &View,
+    departed: &BTreeSet<ProcessId>,
+) -> PurgeReport {
+    let mut report = PurgeReport::default();
+    let highest_known = Ordinal(oal.next_ordinal().0 - 1);
+    // Walk ordinals ascending, to a fixpoint. Honest proposers always
+    // have hdo < their own assigned ordinal (they reference what they
+    // knew when proposing), which makes a single ascending pass
+    // sufficient — but a Byzantine-ish or corrupted hdo can point
+    // forward, so we iterate until no new marks appear to stay total on
+    // arbitrary input.
+    let mut undeliv: BTreeSet<Ordinal> = BTreeSet::new();
+    // Per departed proposer: smallest undeliverable ordinal so far.
+    let mut first_undeliv_of: BTreeMap<ProcessId, Ordinal> = BTreeMap::new();
+    // Pre-existing marks participate in the cascade.
+    for (o, d) in oal.iter() {
+        if d.undeliverable {
+            undeliv.insert(o);
+            if let DescriptorBody::Update { id, .. } = &d.body {
+                first_undeliv_of.entry(id.proposer).or_insert(o);
+            }
+        }
+    }
+
+    let ordinals: Vec<Ordinal> = oal.iter().map(|(o, _)| o).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for o in ordinals.iter().copied() {
+            let d = oal.get(o).expect("ordinal in window");
+            if d.undeliverable {
+                continue;
+            }
+            let DescriptorBody::Update {
+                id, hdo, semantics, ..
+            } = &d.body
+            else {
+                continue; // membership descriptors are never purged
+            };
+            let (id, hdo, semantics) = (*id, *hdo, *semantics);
+            let from_departed = departed.contains(&id.proposer);
+
+            let mut mark = None;
+            // 1. lost: departed proposer, no surviving member has it.
+            if from_departed && d.acks.count_in(new_group) == 0 {
+                mark = Some(Cat::Lost);
+            }
+            // 2. orphan-order: ordered update behind an undeliverable update
+            //    of the same (departed) proposer.
+            if mark.is_none() && from_departed && semantics.ordering != Ordering::Unordered {
+                if let Some(&first) = first_undeliv_of.get(&id.proposer) {
+                    if first < o {
+                        mark = Some(Cat::OrphanOrder);
+                    }
+                }
+            }
+            // 3. orphan-atomicity: strong/strict depending on an
+            //    undeliverable ordinal.
+            if mark.is_none()
+                && semantics.atomicity.needs_acks()
+                && undeliv.iter().any(|&u| u <= hdo)
+            {
+                mark = Some(Cat::OrphanAtomicity);
+            }
+            // 4. unknown dependency: strong/strict depending past the
+            //    surviving frontier.
+            if mark.is_none() && semantics.atomicity.needs_acks() && hdo > highest_known {
+                mark = Some(Cat::UnknownDependency);
+            }
+
+            if let Some(cat) = mark {
+                oal.mark_undeliverable(o);
+                undeliv.insert(o);
+                changed = true;
+                let first = first_undeliv_of.entry(id.proposer).or_insert(o);
+                *first = (*first).min(o);
+                match cat {
+                    Cat::Lost => report.lost.push((o, id)),
+                    Cat::OrphanOrder => report.orphan_order.push((o, id)),
+                    Cat::OrphanAtomicity => report.orphan_atomicity.push((o, id)),
+                    Cat::UnknownDependency => report.unknown_dependency.push((o, id)),
+                }
+            }
+        }
+    }
+    report
+}
+
+enum Cat {
+    Lost,
+    OrphanOrder,
+    OrphanAtomicity,
+    UnknownDependency,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_proto::{Descriptor, ProposalId, Semantics, SyncTime, ViewId};
+
+    fn survivors() -> View {
+        View::new(
+            ViewId::new(2, ProcessId(0)),
+            [ProcessId(0), ProcessId(1), ProcessId(2)],
+        )
+    }
+
+    fn departed() -> BTreeSet<ProcessId> {
+        [ProcessId(3)].into_iter().collect()
+    }
+
+    fn desc(proposer: u16, seq: u64, sem: Semantics, hdo: Ordinal, acks: &[u16]) -> Descriptor {
+        let mut d = Descriptor::update(
+            ProposalId::new(ProcessId(proposer), seq),
+            hdo,
+            sem,
+            SyncTime::ZERO,
+            ProcessId(proposer),
+        );
+        for &r in acks {
+            d.acks.set(ProcessId(r));
+        }
+        d
+    }
+
+    #[test]
+    fn lost_proposal_marked() {
+        let mut oal = Oal::new();
+        // Departed p3's proposal, acked only by p3 itself.
+        let o = oal.append(desc(3, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.lost, vec![(o, ProposalId::new(ProcessId(3), 1))]);
+        assert!(oal.get(o).unwrap().undeliverable);
+    }
+
+    #[test]
+    fn received_proposal_from_departed_not_lost() {
+        let mut oal = Oal::new();
+        // p1 (survivor) acked it.
+        let o = oal.append(desc(3, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[1]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.total(), 0);
+        assert!(!oal.get(o).unwrap().undeliverable);
+    }
+
+    #[test]
+    fn orphan_order_cascades_from_lost() {
+        let mut oal = Oal::new();
+        let sem_total = Semantics::new(Ordering::Total, tw_proto::Atomicity::Weak);
+        let o1 = oal.append(desc(3, 1, sem_total, Ordinal::ZERO, &[])); // lost
+        let o2 = oal.append(desc(3, 2, sem_total, Ordinal::ZERO, &[1])); // received!
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.lost.len(), 1);
+        assert_eq!(r.orphan_order, vec![(o2, ProposalId::new(ProcessId(3), 2))]);
+        assert!(oal.get(o1).unwrap().undeliverable);
+        assert!(oal.get(o2).unwrap().undeliverable);
+    }
+
+    #[test]
+    fn unordered_sibling_not_orphaned() {
+        let mut oal = Oal::new();
+        oal.append(desc(3, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[])); // lost
+        let o2 = oal.append(desc(3, 2, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[1]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.orphan_order.len(), 0);
+        assert!(!oal.get(o2).unwrap().undeliverable);
+    }
+
+    #[test]
+    fn orphan_atomicity_hits_survivor_proposals() {
+        let mut oal = Oal::new();
+        let o1 = oal.append(desc(3, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[])); // lost
+                                                                                        // Survivor p1's strong update depends on o1.
+        let sem = Semantics::new(Ordering::Unordered, tw_proto::Atomicity::Strong);
+        let o2 = oal.append(desc(1, 1, sem, o1, &[0, 1, 2]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(
+            r.orphan_atomicity,
+            vec![(o2, ProposalId::new(ProcessId(1), 1))]
+        );
+    }
+
+    #[test]
+    fn weak_update_depending_on_lost_survives() {
+        let mut oal = Oal::new();
+        let o1 = oal.append(desc(3, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[])); // lost
+        let o2 = oal.append(desc(1, 1, Semantics::UNORDERED_WEAK, o1, &[1]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.total(), 1);
+        assert!(!oal.get(o2).unwrap().undeliverable);
+    }
+
+    #[test]
+    fn unknown_dependency_detected() {
+        let mut oal = Oal::new();
+        let sem = Semantics::new(Ordering::Unordered, tw_proto::Atomicity::Strict);
+        // hdo = 5, but only ordinal 1 exists: the departed decider's last
+        // decision (assigning 2..=5) reached nobody.
+        let o = oal.append(desc(3, 1, sem, Ordinal(5), &[1]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(
+            r.unknown_dependency,
+            vec![(o, ProposalId::new(ProcessId(3), 1))]
+        );
+    }
+
+    #[test]
+    fn membership_descriptors_never_marked() {
+        let mut oal = Oal::new();
+        let o = oal.append(Descriptor::membership(survivors(), ProcessId(0)));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.total(), 0);
+        assert!(!oal.get(o).unwrap().undeliverable);
+    }
+
+    #[test]
+    fn preexisting_marks_feed_cascade() {
+        let mut oal = Oal::new();
+        let sem_total = Semantics::new(Ordering::Total, tw_proto::Atomicity::Weak);
+        let o1 = oal.append(desc(3, 1, sem_total, Ordinal::ZERO, &[1]));
+        oal.mark_undeliverable(o1); // marked by an earlier election
+        let o2 = oal.append(desc(3, 2, sem_total, Ordinal::ZERO, &[1]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.orphan_order, vec![(o2, ProposalId::new(ProcessId(3), 2))]);
+        // o1 is not re-reported.
+        assert_eq!(r.lost.len(), 0);
+    }
+
+    #[test]
+    fn report_totals_and_ids() {
+        let mut oal = Oal::new();
+        oal.append(desc(3, 1, Semantics::UNORDERED_WEAK, Ordinal::ZERO, &[]));
+        let r = mark_undeliverables(&mut oal, &survivors(), &departed());
+        assert_eq!(r.total(), 1);
+        assert_eq!(r.all_ids().count(), 1);
+    }
+}

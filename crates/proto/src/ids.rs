@@ -1,0 +1,183 @@
+//! Process, proposal and ordinal identifiers.
+//!
+//! The paper assumes a fixed *team* of `N` processes, cyclically ordered.
+//! We number them `0..N-1` with [`ProcessId`]. A process that crashes and
+//! recovers re-enters with a fresh [`Incarnation`] so that stale messages
+//! from its previous life can be rejected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a team member (its rank in the cyclic order `0..N-1`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// Rank as a `usize`, for indexing per-process tables.
+    #[inline]
+    pub fn rank(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The successor of this process in the cyclic order of a team of size
+    /// `n` (the whole team, not a group — slot assignment is team-wide).
+    #[inline]
+    pub fn successor(self, n: usize) -> ProcessId {
+        debug_assert!(n > 0 && self.rank() < n);
+        ProcessId(((self.rank() + 1) % n) as u16)
+    }
+
+    /// The predecessor of this process in the cyclic order of a team of
+    /// size `n`.
+    #[inline]
+    pub fn predecessor(self, n: usize) -> ProcessId {
+        debug_assert!(n > 0 && self.rank() < n);
+        ProcessId(((self.rank() + n - 1) % n) as u16)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(v: u16) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Incarnation number of a process: bumped on every recovery from a crash,
+/// so that each (process, incarnation) pair names one continuous life.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Incarnation(pub u32);
+
+impl Incarnation {
+    /// The next incarnation (after a recovery).
+    #[inline]
+    pub fn next(self) -> Incarnation {
+        Incarnation(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Ordinal associated to an update or membership change by a decider.
+///
+/// Ordinals are unique and dense: the decider assigns them by appending
+/// descriptors to the oal, and the ordinal of an entry is the oal's base
+/// ordinal plus its index. Note (paper §2, footnote 2): the *delivery*
+/// order of updates is not necessarily the ordinal order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Ordinal(pub u64);
+
+impl Ordinal {
+    /// The zero ordinal — used as the `hdo` of proposals that depend on
+    /// nothing.
+    pub const ZERO: Ordinal = Ordinal(0);
+
+    /// The next ordinal.
+    #[inline]
+    pub fn next(self) -> Ordinal {
+        Ordinal(self.0 + 1)
+    }
+
+    /// Ordinal distance (`self - earlier`), saturating at zero.
+    #[inline]
+    pub fn distance_from(self, earlier: Ordinal) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Ordinal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identity of a proposal: the proposing process plus a per-sender sequence
+/// number. Unlike ordinals (assigned late, by the decider), proposal ids
+/// are known at propose time and are what the FIFO ("general") delivery
+/// condition is defined over.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProposalId {
+    /// The proposing team member.
+    pub proposer: ProcessId,
+    /// Sequence number local to `proposer`, starting at 1 for its first
+    /// proposal in the current incarnation.
+    pub seq: u64,
+}
+
+impl ProposalId {
+    /// Construct a proposal id.
+    #[inline]
+    pub fn new(proposer: ProcessId, seq: u64) -> Self {
+        ProposalId { proposer, seq }
+    }
+}
+
+impl fmt::Display for ProposalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.proposer, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_wraps_around() {
+        assert_eq!(ProcessId(0).successor(3), ProcessId(1));
+        assert_eq!(ProcessId(2).successor(3), ProcessId(0));
+    }
+
+    #[test]
+    fn predecessor_wraps_around() {
+        assert_eq!(ProcessId(0).predecessor(3), ProcessId(2));
+        assert_eq!(ProcessId(1).predecessor(3), ProcessId(0));
+    }
+
+    #[test]
+    fn successor_predecessor_inverse() {
+        for n in 1..9usize {
+            for r in 0..n {
+                let p = ProcessId(r as u16);
+                assert_eq!(p.successor(n).predecessor(n), p);
+                assert_eq!(p.predecessor(n).successor(n), p);
+            }
+        }
+    }
+
+    #[test]
+    fn ordinal_arithmetic() {
+        assert_eq!(Ordinal(3).next(), Ordinal(4));
+        assert_eq!(Ordinal(7).distance_from(Ordinal(3)), 4);
+        assert_eq!(Ordinal(3).distance_from(Ordinal(7)), 0);
+    }
+
+    #[test]
+    fn incarnation_next() {
+        assert_eq!(Incarnation(0).next(), Incarnation(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessId(4).to_string(), "p4");
+        assert_eq!(ProposalId::new(ProcessId(2), 9).to_string(), "p2:9");
+        assert_eq!(Ordinal(11).to_string(), "#11");
+    }
+}

@@ -1,0 +1,167 @@
+//! Delivery semantics of the timewheel group communication service.
+//!
+//! The service provides three ordering semantics and three atomicity
+//! semantics simultaneously (paper §1); every proposal carries its own
+//! [`Semantics`] pair and the broadcast layer enforces them per-update.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a delivered update is ordered relative to other updates.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Ordering {
+    /// No ordering constraint — delivered as soon as its atomicity
+    /// condition holds (still FIFO per sender).
+    #[default]
+    Unordered,
+    /// Total order: every member delivers total-ordered updates in the
+    /// same (ordinal) order.
+    Total,
+    /// Time order: delivered in the order of their synchronized send
+    /// timestamps, after a fixed delivery latency has elapsed on the
+    /// synchronized clock.
+    Time,
+}
+
+impl Ordering {
+    /// All ordering semantics, for sweeps and property tests.
+    pub const ALL: [Ordering; 3] = [Ordering::Unordered, Ordering::Total, Ordering::Time];
+
+    /// Whether this ordering constrains the relative delivery order of
+    /// different senders' updates.
+    #[inline]
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, Ordering::Unordered)
+    }
+}
+
+impl fmt::Display for Ordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Ordering::Unordered => "unordered",
+            Ordering::Total => "total",
+            Ordering::Time => "time",
+        })
+    }
+}
+
+/// How strongly the delivery of an update is tied to what other members
+/// have received.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Atomicity {
+    /// Weak atomicity: a member may deliver the update as soon as it has
+    /// received it and learned its ordinal.
+    #[default]
+    Weak,
+    /// Strong atomicity: deliverable only once a majority of the current
+    /// group has acknowledged every proposal the update can depend on
+    /// (every proposal with an ordinal ≤ the update's `hdo`).
+    Strong,
+    /// Strict atomicity: deliverable only once *all* members of the
+    /// current group have acknowledged every proposal the update can
+    /// depend on, i.e. those proposals are stable.
+    Strict,
+}
+
+impl Atomicity {
+    /// All atomicity semantics, for sweeps and property tests.
+    pub const ALL: [Atomicity; 3] = [Atomicity::Weak, Atomicity::Strong, Atomicity::Strict];
+
+    /// Whether delivery depends on acknowledgements from other members.
+    #[inline]
+    pub fn needs_acks(self) -> bool {
+        !matches!(self, Atomicity::Weak)
+    }
+}
+
+impl fmt::Display for Atomicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Atomicity::Weak => "weak",
+            Atomicity::Strong => "strong",
+            Atomicity::Strict => "strict",
+        })
+    }
+}
+
+/// The (ordering, atomicity) pair a proposal is broadcast with.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Semantics {
+    /// Ordering constraint.
+    pub ordering: Ordering,
+    /// Atomicity constraint.
+    pub atomicity: Atomicity,
+}
+
+impl Semantics {
+    /// Construct a semantics pair.
+    #[inline]
+    pub const fn new(ordering: Ordering, atomicity: Atomicity) -> Self {
+        Semantics {
+            ordering,
+            atomicity,
+        }
+    }
+
+    /// The cheapest semantics: unordered + weak.
+    pub const UNORDERED_WEAK: Semantics = Semantics::new(Ordering::Unordered, Atomicity::Weak);
+    /// Classic totally-ordered atomic broadcast: total + strong.
+    pub const TOTAL_STRONG: Semantics = Semantics::new(Ordering::Total, Atomicity::Strong);
+    /// The most conservative semantics: time + strict.
+    pub const TIME_STRICT: Semantics = Semantics::new(Ordering::Time, Atomicity::Strict);
+
+    /// Iterate over the full 3×3 semantics matrix.
+    pub fn matrix() -> impl Iterator<Item = Semantics> {
+        Ordering::ALL.into_iter().flat_map(|o| {
+            Atomicity::ALL
+                .into_iter()
+                .map(move |a| Semantics::new(o, a))
+        })
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.ordering, self.atomicity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_nine_distinct_entries() {
+        let all: Vec<_> = Semantics::matrix().collect();
+        assert_eq!(all.len(), 9);
+        let uniq: std::collections::BTreeSet<_> = all.iter().copied().collect();
+        assert_eq!(uniq.len(), 9);
+    }
+
+    #[test]
+    fn ack_requirements() {
+        assert!(!Atomicity::Weak.needs_acks());
+        assert!(Atomicity::Strong.needs_acks());
+        assert!(Atomicity::Strict.needs_acks());
+    }
+
+    #[test]
+    fn ordering_flags() {
+        assert!(!Ordering::Unordered.is_ordered());
+        assert!(Ordering::Total.is_ordered());
+        assert!(Ordering::Time.is_ordered());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Semantics::TOTAL_STRONG.to_string(), "total/strong");
+        assert_eq!(Semantics::UNORDERED_WEAK.to_string(), "unordered/weak");
+        assert_eq!(Semantics::TIME_STRICT.to_string(), "time/strict");
+    }
+}

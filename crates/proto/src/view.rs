@@ -1,0 +1,235 @@
+//! Group views (memberships).
+//!
+//! A *view* is one element of the sequence of majority groups the
+//! membership protocol installs. Views are identified by a monotonically
+//! increasing sequence number plus the creating decider, and carry the set
+//! of member process ids.
+
+use crate::ids::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identity of an installed view.
+///
+/// `seq` increases across the view sequence; `creator` is the decider that
+/// formed the group (useful in traces and for tie-breaking diagnostics —
+/// the protocol itself guarantees at most one creator per `seq`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ViewId {
+    /// Position in the view sequence (the initial group has `seq == 1`).
+    pub seq: u64,
+    /// The decider that created the view.
+    pub creator: ProcessId,
+}
+
+impl ViewId {
+    /// The "no view yet" sentinel used before the initial group forms.
+    pub const NONE: ViewId = ViewId {
+        seq: 0,
+        creator: ProcessId(u16::MAX),
+    };
+
+    /// Construct a view id.
+    #[inline]
+    pub fn new(seq: u64, creator: ProcessId) -> Self {
+        ViewId { seq, creator }
+    }
+
+    /// Id of the successor view created by `creator`.
+    #[inline]
+    pub fn next(self, creator: ProcessId) -> ViewId {
+        ViewId::new(self.seq + 1, creator)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}@{}", self.seq, self.creator)
+    }
+}
+
+/// A group view: an identified set of members.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct View {
+    /// The view's identity.
+    pub id: ViewId,
+    /// The member set, kept sorted for deterministic iteration.
+    pub members: BTreeSet<ProcessId>,
+}
+
+impl View {
+    /// Construct a view from any iterator of members.
+    pub fn new(id: ViewId, members: impl IntoIterator<Item = ProcessId>) -> Self {
+        View {
+            id,
+            members: members.into_iter().collect(),
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the view has no members (only the `NONE` placeholder is).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Whether this view contains a majority of a team of size `n`.
+    #[inline]
+    pub fn is_majority_of(&self, n: usize) -> bool {
+        self.members.len() * 2 > n
+    }
+
+    /// The member that follows `p` in the cyclic rotation order *within
+    /// this view*. Rotation (decider role, no-decision ring) is over group
+    /// members only, in increasing rank order, wrapping around.
+    ///
+    /// Returns `None` when the view is empty or `p` is its only member's
+    /// sole companion source (i.e. the view has a single member).
+    pub fn successor_in_group(&self, p: ProcessId) -> Option<ProcessId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        // First member strictly greater than p, else wrap to the minimum.
+        self.members
+            .range((
+                std::ops::Bound::Excluded(p),
+                std::ops::Bound::Unbounded::<ProcessId>,
+            ))
+            .next()
+            .or_else(|| self.members.iter().next())
+            .copied()
+    }
+
+    /// The member that precedes `p` in the cyclic rotation order within
+    /// this view.
+    pub fn predecessor_in_group(&self, p: ProcessId) -> Option<ProcessId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        self.members
+            .range(..p)
+            .next_back()
+            .or_else(|| self.members.iter().next_back())
+            .copied()
+    }
+
+    /// A copy of this view with `p` removed and a bumped id.
+    pub fn without(&self, p: ProcessId, new_id: ViewId) -> View {
+        let mut members = self.members.clone();
+        members.remove(&p);
+        View {
+            id: new_id,
+            members,
+        }
+    }
+
+    /// A copy of this view with `p` added and a bumped id.
+    pub fn with(&self, p: ProcessId, new_id: ViewId) -> View {
+        let mut members = self.members.clone();
+        members.insert(p);
+        View {
+            id: new_id,
+            members,
+        }
+    }
+
+    /// Members as a sorted `Vec` (for wire encoding and display).
+    pub fn member_vec(&self) -> Vec<ProcessId> {
+        self.members.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(ids: &[u16]) -> View {
+        View::new(
+            ViewId::new(1, ProcessId(ids[0])),
+            ids.iter().map(|&i| ProcessId(i)),
+        )
+    }
+
+    #[test]
+    fn majority_check() {
+        assert!(view(&[0, 1, 2]).is_majority_of(5));
+        assert!(!view(&[0, 1]).is_majority_of(5));
+        assert!(view(&[0, 1, 2]).is_majority_of(4));
+        assert!(!view(&[0, 1]).is_majority_of(4));
+    }
+
+    #[test]
+    fn group_rotation_skips_non_members() {
+        let v = view(&[0, 2, 4]);
+        assert_eq!(v.successor_in_group(ProcessId(0)), Some(ProcessId(2)));
+        assert_eq!(v.successor_in_group(ProcessId(2)), Some(ProcessId(4)));
+        assert_eq!(v.successor_in_group(ProcessId(4)), Some(ProcessId(0)));
+        // Rotation from a non-member lands on the next member.
+        assert_eq!(v.successor_in_group(ProcessId(1)), Some(ProcessId(2)));
+        assert_eq!(v.predecessor_in_group(ProcessId(0)), Some(ProcessId(4)));
+        assert_eq!(v.predecessor_in_group(ProcessId(4)), Some(ProcessId(2)));
+        assert_eq!(v.predecessor_in_group(ProcessId(3)), Some(ProcessId(2)));
+    }
+
+    #[test]
+    fn rotation_inverse_on_members() {
+        let v = view(&[1, 3, 5, 8]);
+        for &m in &v.members {
+            let s = v.successor_in_group(m).unwrap();
+            assert_eq!(v.predecessor_in_group(s), Some(m));
+        }
+    }
+
+    #[test]
+    fn with_without() {
+        let v = view(&[0, 1, 2]);
+        let id2 = ViewId::new(2, ProcessId(1));
+        let w = v.without(ProcessId(0), id2);
+        assert_eq!(w.member_vec(), vec![ProcessId(1), ProcessId(2)]);
+        assert_eq!(w.id, id2);
+        let x = w.with(ProcessId(4), ViewId::new(3, ProcessId(1)));
+        assert!(x.contains(ProcessId(4)));
+        assert_eq!(x.len(), 3);
+    }
+
+    #[test]
+    fn empty_view_rotation() {
+        let v = View::default();
+        assert!(v.is_empty());
+        assert_eq!(v.successor_in_group(ProcessId(0)), None);
+        assert_eq!(v.predecessor_in_group(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn display() {
+        let v = view(&[0, 2]);
+        assert_eq!(v.to_string(), "v1@p0{p0,p2}");
+    }
+}

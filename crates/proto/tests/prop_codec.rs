@@ -1,0 +1,274 @@
+//! Property tests for the wire codec: arbitrary messages round-trip, and
+//! arbitrary byte soup never panics the decoder.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use tw_proto::*;
+
+fn arb_pid() -> impl Strategy<Value = ProcessId> {
+    (0u16..64).prop_map(ProcessId)
+}
+
+fn arb_sem() -> impl Strategy<Value = Semantics> {
+    (
+        prop_oneof![
+            Just(tw_proto::Ordering::Unordered),
+            Just(tw_proto::Ordering::Total),
+            Just(tw_proto::Ordering::Time)
+        ],
+        prop_oneof![
+            Just(Atomicity::Weak),
+            Just(Atomicity::Strong),
+            Just(Atomicity::Strict)
+        ],
+    )
+        .prop_map(|(o, a)| Semantics::new(o, a))
+}
+
+fn arb_view() -> impl Strategy<Value = View> {
+    (
+        any::<u64>(),
+        arb_pid(),
+        proptest::collection::btree_set(arb_pid(), 0..8),
+    )
+        .prop_map(|(seq, creator, members)| View::new(ViewId::new(seq, creator), members))
+}
+
+fn arb_desc() -> impl Strategy<Value = Descriptor> {
+    (
+        prop_oneof![
+            (
+                arb_pid(),
+                any::<u64>(),
+                any::<u64>(),
+                arb_sem(),
+                any::<i64>()
+            )
+                .prop_map(|(p, seq, hdo, sem, ts)| DescriptorBody::Update {
+                    id: ProposalId::new(p, seq),
+                    hdo: Ordinal(hdo),
+                    semantics: sem,
+                    send_ts: SyncTime(ts),
+                }),
+            arb_view().prop_map(DescriptorBody::Membership),
+        ],
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(body, acks, undeliverable)| Descriptor {
+            body,
+            acks: AckBits(acks),
+            undeliverable,
+        })
+}
+
+fn arb_oal() -> impl Strategy<Value = Oal> {
+    proptest::collection::vec(arb_desc(), 0..6).prop_map(|descs| {
+        let mut oal = Oal::new();
+        for d in descs {
+            oal.append(d);
+        }
+        oal
+    })
+}
+
+fn arb_update_desc() -> impl Strategy<Value = UpdateDesc> {
+    (
+        arb_pid(),
+        any::<u64>(),
+        any::<u64>(),
+        arb_sem(),
+        any::<i64>(),
+    )
+        .prop_map(|(p, seq, hdo, sem, ts)| UpdateDesc {
+            id: ProposalId::new(p, seq),
+            hdo: Ordinal(hdo),
+            semantics: sem,
+            send_ts: SyncTime(ts),
+        })
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (
+            arb_pid(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<i64>(),
+            any::<u64>(),
+            arb_sem(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(p, inc, seq, ts, hdo, sem, payload)| {
+                Msg::Proposal(Proposal {
+                    sender: p,
+                    incarnation: Incarnation(inc),
+                    seq,
+                    send_ts: SyncTime(ts),
+                    hdo: Ordinal(hdo),
+                    semantics: sem,
+                    payload: Bytes::from(payload),
+                })
+            }),
+        (arb_pid(), any::<i64>(), arb_view(), arb_oal(), any::<u64>()).prop_map(
+            |(p, ts, view, oal, alive)| {
+                Msg::Decision(Decision {
+                    sender: p,
+                    send_ts: SyncTime(ts),
+                    view,
+                    oal,
+                    alive: AckBits(alive),
+                })
+            }
+        ),
+        (
+            arb_pid(),
+            any::<i64>(),
+            arb_pid(),
+            any::<u64>(),
+            arb_pid(),
+            arb_oal(),
+            proptest::collection::vec(arb_update_desc(), 0..4),
+            any::<u64>()
+        )
+            .prop_map(|(p, ts, suspect, seq, creator, oal, dpd, alive)| {
+                Msg::NoDecision(NoDecision {
+                    sender: p,
+                    send_ts: SyncTime(ts),
+                    suspect,
+                    view_id: ViewId::new(seq, creator),
+                    oal_view: oal,
+                    dpd,
+                    alive: AckBits(alive),
+                })
+            }),
+        (
+            arb_pid(),
+            any::<u32>(),
+            any::<i64>(),
+            proptest::collection::vec((arb_pid(), any::<u32>().prop_map(Incarnation)), 0..8),
+            any::<u64>()
+        )
+            .prop_map(|(p, inc, ts, join_list, alive)| {
+                Msg::Join(Join {
+                    sender: p,
+                    incarnation: Incarnation(inc),
+                    send_ts: SyncTime(ts),
+                    join_list,
+                    alive: AckBits(alive),
+                })
+            }),
+        (
+            arb_pid(),
+            any::<i64>(),
+            proptest::collection::vec(arb_pid(), 0..8),
+            any::<i64>(),
+            (any::<u64>(), arb_pid()),
+            arb_oal(),
+            proptest::collection::vec(arb_update_desc(), 0..4),
+            any::<u64>()
+        )
+            .prop_map(|(p, ts, list, dts, (vseq, vc), oal, dpd, alive)| {
+                Msg::Reconfig(Reconfig {
+                    sender: p,
+                    send_ts: SyncTime(ts),
+                    reconfig_list: list,
+                    last_decision_ts: SyncTime(dts),
+                    last_view: ViewId::new(vseq, vc),
+                    oal_view: oal,
+                    dpd,
+                    alive: AckBits(alive),
+                })
+            }),
+        (arb_pid(), any::<u64>(), any::<i64>()).prop_map(|(p, rid, hw)| {
+            Msg::ClockSync(ClockSyncMsg::Request {
+                sender: p,
+                rid,
+                hw_send: HwTime(hw),
+            })
+        }),
+        (
+            arb_pid(),
+            any::<u64>(),
+            any::<i64>(),
+            any::<i64>(),
+            any::<bool>()
+        )
+            .prop_map(|(p, rid, hw, sync, synced)| {
+                Msg::ClockSync(ClockSyncMsg::Reply {
+                    sender: p,
+                    rid,
+                    hw_send_echo: HwTime(hw),
+                    sync_at_reply: SyncTime(sync),
+                    synced,
+                })
+            }),
+        (
+            arb_pid(),
+            arb_pid(),
+            (any::<u64>(), arb_pid()),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            proptest::collection::vec((arb_pid(), any::<u64>()), 0..4)
+        )
+            .prop_map(|(p, to, (vseq, vc), state, fifo)| {
+                Msg::StateTransfer(StateTransfer {
+                    sender: p,
+                    to,
+                    view_id: ViewId::new(vseq, vc),
+                    app_state: Bytes::from(state),
+                    proposals: vec![],
+                    fifo: fifo.clone(),
+                    ordinals: fifo
+                        .iter()
+                        .map(|(pid, s)| (ProposalId::new(*pid, *s), Ordinal(*s)))
+                        .collect(),
+                })
+            }),
+        (
+            arb_pid(),
+            any::<i64>(),
+            proptest::collection::vec(
+                (arb_pid(), any::<u64>()).prop_map(|(p, s)| ProposalId::new(p, s)),
+                0..8
+            )
+        )
+            .prop_map(|(p, ts, missing)| {
+                Msg::Nack(Nack {
+                    sender: p,
+                    send_ts: SyncTime(ts),
+                    missing,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_message_round_trips(msg in arb_msg()) {
+        let bytes = msg.to_bytes();
+        let back = Msg::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panicking or looping is not.
+        let _ = Msg::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncation_always_detected(msg in arb_msg(), cut_frac in 0.0f64..1.0) {
+        let bytes = msg.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Msg::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(msg in arb_msg()) {
+        prop_assert_eq!(msg.to_bytes(), msg.to_bytes());
+    }
+}

@@ -1,0 +1,36 @@
+//! # tw-rsm — replicated state machines on the timewheel service
+//!
+//! The paper's motivating technique (§1): "implement [a dependable
+//! service] by a team of replicated servers … the currently running team
+//! members maintain a consistent replicated service state and, if one
+//! member fails, the others form a new group and continue to provide the
+//! service."
+//!
+//! This crate is that technique, packaged: implement [`StateMachine`] for
+//! your deterministic service state, and the timewheel atomic broadcast
+//! (total order + strong atomicity) plus the membership protocol's
+//! join-time state transfer do the rest — every replica applies the same
+//! commands in the same order, crashed replicas are excluded, recovered
+//! replicas are re-integrated with a snapshot.
+//!
+//! Two hosts are provided:
+//!
+//! * [`sim::rsm_team`] — replicas on the deterministic simulator (what
+//!   the tests and experiments use);
+//! * [`cluster::RsmNode`] / [`cluster::spawn_rsm_cluster`] — replicas on
+//!   real threads with a synchronous `execute` API.
+//!
+//! Two ready-made machines live in [`machines`]: a key-value store and a
+//! counter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod machine;
+pub mod machines;
+pub mod sim;
+
+pub use cluster::{spawn_rsm_cluster, RsmNode};
+pub use machine::{CommandOutcome, MachineHost, StateMachine};
+pub use machines::{Counter, CounterCmd, KvCmd, KvResponse, KvStore};

@@ -1,0 +1,451 @@
+//! Ready-made state machines: a key-value store and a counter.
+//!
+//! Commands and responses use the workspace's own binary codec
+//! ([`tw_proto::codec`]), so they are compact on the wire and symmetric
+//! with the protocol messages.
+
+use crate::machine::StateMachine;
+use bytes::{Bytes, BytesMut};
+use std::collections::BTreeMap;
+use tw_proto::codec::{Decode, Encode, WireError};
+
+// ---------------------------------------------------------------- KvStore
+
+/// Commands of the replicated key-value store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCmd {
+    /// Set `key` to `value`; responds with the previous value.
+    Put {
+        /// Key.
+        key: String,
+        /// New value.
+        value: String,
+    },
+    /// Read `key`.
+    Get {
+        /// Key.
+        key: String,
+    },
+    /// Remove `key`; responds with the removed value.
+    Del {
+        /// Key.
+        key: String,
+    },
+    /// Compare-and-swap: set `key` to `new` iff it currently equals
+    /// `expect` (`None` = key absent).
+    Cas {
+        /// Key.
+        key: String,
+        /// Expected current value.
+        expect: Option<String>,
+        /// Replacement value.
+        new: String,
+    },
+}
+
+/// Responses of the key-value store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
+    /// The value (or previous value), if any.
+    Value(Option<String>),
+    /// CAS verdict.
+    CasResult {
+        /// Whether the swap happened.
+        swapped: bool,
+        /// The value actually present at decision time.
+        actual: Option<String>,
+    },
+    /// The command bytes did not decode.
+    BadCommand,
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    (s.len() as u32).encode(buf);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
+    let raw = Bytes::decode(buf)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadTag {
+        what: "utf8 string",
+        tag: 0,
+    })
+}
+
+fn put_opt_string(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        None => false.encode(buf),
+        Some(v) => {
+            true.encode(buf);
+            put_string(buf, v);
+        }
+    }
+}
+
+fn get_opt_string(buf: &mut Bytes) -> Result<Option<String>, WireError> {
+    if bool::decode(buf)? {
+        Ok(Some(get_string(buf)?))
+    } else {
+        Ok(None)
+    }
+}
+
+impl Encode for KvCmd {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            KvCmd::Put { key, value } => {
+                0u8.encode(buf);
+                put_string(buf, key);
+                put_string(buf, value);
+            }
+            KvCmd::Get { key } => {
+                1u8.encode(buf);
+                put_string(buf, key);
+            }
+            KvCmd::Del { key } => {
+                2u8.encode(buf);
+                put_string(buf, key);
+            }
+            KvCmd::Cas { key, expect, new } => {
+                3u8.encode(buf);
+                put_string(buf, key);
+                put_opt_string(buf, expect);
+                put_string(buf, new);
+            }
+        }
+    }
+}
+
+impl Decode for KvCmd {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => KvCmd::Put {
+                key: get_string(buf)?,
+                value: get_string(buf)?,
+            },
+            1 => KvCmd::Get {
+                key: get_string(buf)?,
+            },
+            2 => KvCmd::Del {
+                key: get_string(buf)?,
+            },
+            3 => KvCmd::Cas {
+                key: get_string(buf)?,
+                expect: get_opt_string(buf)?,
+                new: get_string(buf)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "kv-cmd",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for KvResponse {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            KvResponse::Value(v) => {
+                0u8.encode(buf);
+                put_opt_string(buf, v);
+            }
+            KvResponse::CasResult { swapped, actual } => {
+                1u8.encode(buf);
+                swapped.encode(buf);
+                put_opt_string(buf, actual);
+            }
+            KvResponse::BadCommand => 2u8.encode(buf),
+        }
+    }
+}
+
+impl Decode for KvResponse {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => KvResponse::Value(get_opt_string(buf)?),
+            1 => KvResponse::CasResult {
+                swapped: bool::decode(buf)?,
+                actual: get_opt_string(buf)?,
+            },
+            2 => KvResponse::BadCommand,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "kv-response",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// The replicated key-value store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<String, String>,
+}
+
+impl KvStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a key directly (local, not replicated — for tests and
+    /// observers).
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.map.get(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, command: &[u8]) -> Bytes {
+        let resp = match KvCmd::from_bytes(command) {
+            Err(_) => KvResponse::BadCommand,
+            Ok(KvCmd::Put { key, value }) => KvResponse::Value(self.map.insert(key, value)),
+            Ok(KvCmd::Get { key }) => KvResponse::Value(self.map.get(&key).cloned()),
+            Ok(KvCmd::Del { key }) => KvResponse::Value(self.map.remove(&key)),
+            Ok(KvCmd::Cas { key, expect, new }) => {
+                let actual = self.map.get(&key).cloned();
+                if actual == expect {
+                    self.map.insert(key, new);
+                    KvResponse::CasResult {
+                        swapped: true,
+                        actual,
+                    }
+                } else {
+                    KvResponse::CasResult {
+                        swapped: false,
+                        actual,
+                    }
+                }
+            }
+        };
+        resp.to_bytes()
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        (self.map.len() as u32).encode(&mut buf);
+        for (k, v) in &self.map {
+            put_string(&mut buf, k);
+            put_string(&mut buf, v);
+        }
+        buf.freeze()
+    }
+
+    fn restore(snapshot: &[u8]) -> Self {
+        let mut buf = Bytes::copy_from_slice(snapshot);
+        let n = u32::decode(&mut buf).expect("kv snapshot length");
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let k = get_string(&mut buf).expect("kv snapshot key");
+            let v = get_string(&mut buf).expect("kv snapshot value");
+            map.insert(k, v);
+        }
+        KvStore { map }
+    }
+}
+
+// ---------------------------------------------------------------- Counter
+
+/// Commands of the replicated counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterCmd {
+    /// Add a (possibly negative) amount; responds with the new total.
+    Add(i64),
+    /// Read the total.
+    Read,
+}
+
+impl Encode for CounterCmd {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CounterCmd::Add(v) => {
+                0u8.encode(buf);
+                v.encode(buf);
+            }
+            CounterCmd::Read => 1u8.encode(buf),
+        }
+    }
+}
+
+impl Decode for CounterCmd {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => CounterCmd::Add(i64::decode(buf)?),
+            1 => CounterCmd::Read,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "counter-cmd",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// The replicated counter; responses are the little-endian total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    total: i64,
+}
+
+impl Counter {
+    /// The current total (local observer access).
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+}
+
+impl StateMachine for Counter {
+    fn apply(&mut self, command: &[u8]) -> Bytes {
+        if let Ok(CounterCmd::Add(v)) = CounterCmd::from_bytes(command) {
+            self.total += v;
+        }
+        Bytes::from(self.total.to_le_bytes().to_vec())
+    }
+
+    fn snapshot(&self) -> Bytes {
+        Bytes::from(self.total.to_le_bytes().to_vec())
+    }
+
+    fn restore(snapshot: &[u8]) -> Self {
+        let total = i64::from_le_bytes(snapshot.try_into().expect("counter snapshot"));
+        Counter { total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_commands_round_trip() {
+        for cmd in [
+            KvCmd::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+            KvCmd::Get { key: "k".into() },
+            KvCmd::Del { key: "k".into() },
+            KvCmd::Cas {
+                key: "k".into(),
+                expect: Some("old".into()),
+                new: "new".into(),
+            },
+            KvCmd::Cas {
+                key: "k".into(),
+                expect: None,
+                new: "new".into(),
+            },
+        ] {
+            let b = cmd.to_bytes();
+            assert_eq!(KvCmd::from_bytes(&b).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn kv_semantics() {
+        let mut kv = KvStore::new();
+        let r = kv.apply(
+            &KvCmd::Put {
+                key: "a".into(),
+                value: "1".into(),
+            }
+            .to_bytes(),
+        );
+        assert_eq!(KvResponse::from_bytes(&r).unwrap(), KvResponse::Value(None));
+        let r = kv.apply(&KvCmd::Get { key: "a".into() }.to_bytes());
+        assert_eq!(
+            KvResponse::from_bytes(&r).unwrap(),
+            KvResponse::Value(Some("1".into()))
+        );
+        let r = kv.apply(
+            &KvCmd::Cas {
+                key: "a".into(),
+                expect: Some("1".into()),
+                new: "2".into(),
+            }
+            .to_bytes(),
+        );
+        assert_eq!(
+            KvResponse::from_bytes(&r).unwrap(),
+            KvResponse::CasResult {
+                swapped: true,
+                actual: Some("1".into())
+            }
+        );
+        let r = kv.apply(
+            &KvCmd::Cas {
+                key: "a".into(),
+                expect: Some("1".into()),
+                new: "3".into(),
+            }
+            .to_bytes(),
+        );
+        assert_eq!(
+            KvResponse::from_bytes(&r).unwrap(),
+            KvResponse::CasResult {
+                swapped: false,
+                actual: Some("2".into())
+            }
+        );
+        let r = kv.apply(&KvCmd::Del { key: "a".into() }.to_bytes());
+        assert_eq!(
+            KvResponse::from_bytes(&r).unwrap(),
+            KvResponse::Value(Some("2".into()))
+        );
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn kv_snapshot_round_trip() {
+        let mut kv = KvStore::new();
+        for i in 0..20 {
+            kv.apply(
+                &KvCmd::Put {
+                    key: format!("key-{i}"),
+                    value: format!("value-{i}"),
+                }
+                .to_bytes(),
+            );
+        }
+        let snap = kv.snapshot();
+        let restored = KvStore::restore(&snap);
+        assert_eq!(restored, kv);
+        assert_eq!(restored.len(), 20);
+        assert_eq!(restored.get("key-7"), Some(&"value-7".to_string()));
+    }
+
+    #[test]
+    fn kv_rejects_garbage_gracefully() {
+        let mut kv = KvStore::new();
+        let r = kv.apply(b"\xff\xff\xff");
+        assert_eq!(KvResponse::from_bytes(&r).unwrap(), KvResponse::BadCommand);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn counter_semantics_and_snapshot() {
+        let mut c = Counter::default();
+        c.apply(&CounterCmd::Add(5).to_bytes());
+        let r = c.apply(&CounterCmd::Add(-2).to_bytes());
+        assert_eq!(i64::from_le_bytes(r.as_ref().try_into().unwrap()), 3);
+        let r = c.apply(&CounterCmd::Read.to_bytes());
+        assert_eq!(i64::from_le_bytes(r.as_ref().try_into().unwrap()), 3);
+        let restored = Counter::restore(&c.snapshot());
+        assert_eq!(restored.total(), 3);
+    }
+}

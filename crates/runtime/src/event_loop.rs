@@ -1,0 +1,105 @@
+//! The event-based executor (paper §5).
+//!
+//! One thread per process runs a single event-demultiplexing loop:
+//! network datagrams, client commands and the two protocol timers are all
+//! dispatched from the same place, one handler at a time. No locking, no
+//! inter-thread scheduling — the design the paper adopted after finding
+//! the thread-based version's overhead "significant".
+
+use crate::node::{apply_actions, NodeCommand, NodeOutput, NodeParts};
+use crate::transport::Incoming;
+use std::time::Duration as StdDuration;
+
+pub(crate) fn run(parts: NodeParts) {
+    let NodeParts {
+        mut member,
+        inbox,
+        cmds,
+        out,
+        transport,
+        clock,
+        mut hook,
+    } = parts;
+    let pid = member.pid();
+    let tick = member.config().tick;
+    let resync = member.config().clock.resync_interval;
+
+    let now = clock.now_hw();
+    let mut next_clock = now + resync;
+    let actions = member.on_start(now);
+    let (t, snap) = apply_actions(pid, actions, &*transport, &out, now, &mut hook);
+    if let Some(t) = t {
+        next_clock = t;
+    }
+    if let Some(s) = snap {
+        member.set_app_snapshot(s);
+    }
+    let mut next_tick = now + tick;
+
+    loop {
+        let now = clock.now_hw();
+        let deadline = next_tick.min(next_clock);
+        let wait_us = (deadline - now).as_micros().max(0) as u64;
+
+        crossbeam::channel::select! {
+            recv(inbox) -> m => match m {
+                Ok(Incoming::Msg(from, msg)) => {
+                    let now = clock.now_hw();
+                    let actions = member.on_message(now, from, msg);
+                    let (t, snap) =
+                        apply_actions(pid, actions, &*transport, &out, now, &mut hook);
+                    if let Some(t) = t {
+                        next_clock = t;
+                    }
+                    if let Some(s) = snap {
+                        member.set_app_snapshot(s);
+                    }
+                }
+                Err(_) => break, // transport gone
+            },
+            recv(cmds) -> c => match c {
+                Ok(NodeCommand::Propose(payload, sem)) => {
+                    let now = clock.now_hw();
+                    match member.propose(now, payload, sem) {
+                        Ok(actions) => {
+                            let (t, snap) =
+                                apply_actions(pid, actions, &*transport, &out, now, &mut hook);
+                            if let Some(t) = t {
+                                next_clock = t;
+                            }
+                            if let Some(s) = snap {
+                                member.set_app_snapshot(s);
+                            }
+                        }
+                        Err(e) => {
+                            let _ = out.send(NodeOutput::ProposeRejected(e));
+                        }
+                    }
+                }
+                Ok(NodeCommand::Shutdown) | Err(_) => break,
+            },
+            default(StdDuration::from_micros(wait_us)) => {}
+        }
+
+        let now = clock.now_hw();
+        if now >= next_tick {
+            let actions = member.on_tick(now);
+            let (t, snap) = apply_actions(pid, actions, &*transport, &out, now, &mut hook);
+            if let Some(t) = t {
+                next_clock = t;
+            }
+            if let Some(s) = snap {
+                member.set_app_snapshot(s);
+            }
+            next_tick = now + tick;
+        }
+        if now >= next_clock {
+            let actions = member.on_clock_tick(now);
+            let (t, _) = apply_actions(pid, actions, &*transport, &out, now, &mut hook);
+            match t {
+                Some(t) => next_clock = t,
+                None => next_clock = now + resync,
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # tw-runtime — execution backends for the timewheel protocol
+//!
+//! The protocol core ([`timewheel::Member`]) is a sans-I/O state machine;
+//! this crate hosts it on real threads, real clocks and real (or
+//! in-memory) datagrams. Two executors are provided, mirroring the
+//! paper's §5 implementation discussion:
+//!
+//! * [`event_loop`] — the design the paper chose: a **single-threaded
+//!   event handler** per process that demultiplexes message arrivals,
+//!   protocol ticks and clock-synchronization ticks, dispatching each to
+//!   its handler with no locking and no cross-thread scheduling.
+//! * [`threaded`] — the design the paper measured and rejected: one
+//!   thread per event *type* (receive, protocol tick, clock tick),
+//!   synchronizing on a shared lock around the protocol state. It exists
+//!   so the §5 comparison (experiment T7) can be reproduced.
+//!
+//! Transports: [`transport::MemTransport`] (an in-process crossbeam
+//! channel mesh) and [`transport::UdpTransport`] (real UDP datagrams with
+//! the [`tw_proto::codec`] wire format — the paper's deployment style).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event_loop;
+pub mod node;
+pub mod threaded;
+pub mod transport;
+
+pub use clock::{RealClock, RuntimeClock};
+pub use node::{
+    spawn_cluster, spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent, DeliveryHook,
+    ExecutorKind, Node, NodeCommand, NodeOutput,
+};
+pub use transport::{MemTransport, Transport, UdpTransport};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::clock::{RealClock, RuntimeClock};
+    pub use crate::node::{spawn_cluster, spawn_udp_cluster, ExecutorKind, Node};
+    pub use crate::transport::{MemTransport, Transport, UdpTransport};
+}

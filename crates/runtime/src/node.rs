@@ -1,0 +1,301 @@
+//! Node handles and cluster assembly.
+//!
+//! A [`Node`] owns the threads hosting one protocol member and exposes a
+//! command channel (propose, shutdown) plus an output channel
+//! (deliveries, view installations, departures). [`spawn_cluster`] builds
+//! an in-process team over [`MemTransport`]; [`spawn_udp_cluster`] builds
+//! one over real UDP sockets.
+
+use crate::clock::{RealClock, RuntimeClock};
+use crate::transport::{Incoming, MemTransport, Transport, UdpTransport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use timewheel::events::LeaveReason;
+use timewheel::member::broadcast::ProposeError;
+use timewheel::{Config, Delivery, Member};
+use tw_proto::{ProcessId, Semantics, View};
+
+/// Commands a client can send to its node.
+#[derive(Debug)]
+pub enum NodeCommand {
+    /// Broadcast an update.
+    Propose(Bytes, Semantics),
+    /// Stop all node threads.
+    Shutdown,
+}
+
+/// Everything a node reports back to its client.
+#[derive(Debug, Clone)]
+pub enum NodeOutput {
+    /// An update was delivered.
+    Delivery(Delivery),
+    /// A new view was installed.
+    View(View),
+    /// The member dropped back to join state.
+    Left(LeaveReason),
+    /// A propose command was rejected.
+    ProposeRejected(ProposeError),
+}
+
+/// Which executor hosts the member (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Single-threaded event handler (the paper's choice).
+    EventLoop,
+    /// One thread per event type over a shared lock (the rejected
+    /// baseline from \[22], kept for the T7 comparison).
+    Threaded,
+}
+
+/// A running protocol node.
+pub struct Node {
+    /// The member's process id.
+    pub pid: ProcessId,
+    cmds: Sender<NodeCommand>,
+    /// Stream of deliveries/views/departures.
+    pub outputs: Receiver<NodeOutput>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    udp: Option<Arc<UdpTransport>>,
+}
+
+impl Node {
+    /// Broadcast an update (fire-and-forget; rejection reported on
+    /// `outputs`).
+    pub fn propose(&self, payload: Bytes, semantics: Semantics) {
+        let _ = self.cmds.send(NodeCommand::Propose(payload, semantics));
+    }
+
+    /// Stop the node and join its threads.
+    pub fn shutdown(mut self) {
+        let _ = self.cmds.send(NodeCommand::Shutdown);
+        if let Some(udp) = &self.udp {
+            udp.shutdown();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Drain outputs until a view of `size` members is installed or the
+    /// timeout elapses. Returns the view.
+    pub fn wait_for_view(&self, size: usize, timeout: std::time::Duration) -> Option<View> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            match self.outputs.recv_timeout(left) {
+                Ok(NodeOutput::View(v)) if v.len() == size => return Some(v),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Drain outputs until `count` deliveries were seen or the timeout
+    /// elapses; returns the deliveries seen.
+    pub fn wait_for_deliveries(&self, count: usize, timeout: std::time::Duration) -> Vec<Delivery> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut out = Vec::new();
+        while out.len() < count {
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                break;
+            };
+            match self.outputs.recv_timeout(left) {
+                Ok(NodeOutput::Delivery(d)) => out.push(d),
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+/// What the application hook is called with.
+#[derive(Debug)]
+pub enum AppEvent<'a> {
+    /// An update was delivered (apply it).
+    Deliver(&'a Delivery),
+    /// A join-time snapshot arrived (replace the application state).
+    InstallSnapshot(&'a Bytes),
+}
+
+/// Application hook run inside the executor on every delivery and on
+/// join-time snapshot installation; a `Some(snapshot)` return value
+/// becomes the member's fresh application snapshot (shipped to
+/// joiners), keeping application state and protocol state consistent by
+/// construction.
+pub type DeliveryHook = Box<dyn FnMut(AppEvent<'_>) -> Option<Bytes> + Send>;
+
+pub(crate) struct NodeParts {
+    pub member: Member,
+    pub inbox: Receiver<Incoming>,
+    pub cmds: Receiver<NodeCommand>,
+    pub out: Sender<NodeOutput>,
+    pub transport: Arc<dyn Transport>,
+    pub clock: Arc<dyn RuntimeClock + Sync>,
+    pub hook: Option<DeliveryHook>,
+}
+
+fn spawn_node(
+    kind: ExecutorKind,
+    member: Member,
+    inbox: Receiver<Incoming>,
+    transport: Arc<dyn Transport>,
+    udp: Option<Arc<UdpTransport>>,
+    mut extra_handles: Vec<std::thread::JoinHandle<()>>,
+    hook: Option<DeliveryHook>,
+) -> Node {
+    let pid = member.pid();
+    let (cmd_tx, cmd_rx) = unbounded();
+    let (out_tx, out_rx) = unbounded();
+    let parts = NodeParts {
+        member,
+        inbox,
+        cmds: cmd_rx,
+        out: out_tx,
+        transport,
+        clock: Arc::new(RealClock::new()),
+        hook,
+    };
+    let main = std::thread::Builder::new()
+        .name(format!("tw-node-{pid}"))
+        .spawn(move || match kind {
+            ExecutorKind::EventLoop => crate::event_loop::run(parts),
+            ExecutorKind::Threaded => crate::threaded::run(parts),
+        })
+        .expect("spawn node thread");
+    extra_handles.push(main);
+    Node {
+        pid,
+        cmds: cmd_tx,
+        outputs: out_rx,
+        handles: extra_handles,
+        udp,
+    }
+}
+
+/// Start an in-process team of `n` members over channel datagrams.
+pub fn spawn_cluster(kind: ExecutorKind, cfg: Config) -> Vec<Node> {
+    spawn_cluster_with_hooks(kind, cfg, |_| None)
+}
+
+/// Start an in-process team, attaching a per-node application hook
+/// (see [`DeliveryHook`]); `make_hook` is called once per node.
+pub fn spawn_cluster_with_hooks(
+    kind: ExecutorKind,
+    cfg: Config,
+    mut make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
+) -> Vec<Node> {
+    let n = cfg.n;
+    let mut inbox_txs = Vec::with_capacity(n);
+    let mut inbox_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        inbox_txs.push(tx);
+        inbox_rxs.push(rx);
+    }
+    let transport = MemTransport::new(inbox_txs);
+    inbox_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, inbox)| {
+            let pid = ProcessId(i as u16);
+            let member = Member::new_unchecked(pid, cfg);
+            spawn_node(
+                kind,
+                member,
+                inbox,
+                transport.clone() as Arc<dyn Transport>,
+                None,
+                Vec::new(),
+                make_hook(pid),
+            )
+        })
+        .collect()
+}
+
+/// Start a team of `n` members over real localhost UDP sockets on
+/// ephemeral ports.
+pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec<Node>> {
+    let n = cfg.n;
+    // Reserve n ephemeral ports first.
+    let sockets: Vec<std::net::UdpSocket> = (0..n)
+        .map(|_| std::net::UdpSocket::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<std::net::SocketAddr> = sockets
+        .iter()
+        .map(|s| s.local_addr())
+        .collect::<Result<_, _>>()?;
+    drop(sockets);
+    let peers: HashMap<ProcessId, std::net::SocketAddr> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (ProcessId(i as u16), *a))
+        .collect();
+    let mut nodes = Vec::with_capacity(n);
+    for (i, addr) in addrs.iter().enumerate() {
+        let pid = ProcessId(i as u16);
+        let transport = UdpTransport::bind(pid, *addr, peers.clone())?;
+        let (inbox_tx, inbox_rx) = unbounded();
+        let rx_handle = transport.spawn_receiver(inbox_tx);
+        let member = Member::new_unchecked(pid, cfg);
+        nodes.push(spawn_node(
+            kind,
+            member,
+            inbox_rx,
+            transport.clone() as Arc<dyn Transport>,
+            Some(transport),
+            vec![rx_handle],
+            None,
+        ));
+    }
+    Ok(nodes)
+}
+
+/// Apply protocol actions to the runtime environment. Returns the new
+/// clock-tick deadline, if the actions rescheduled it, plus the fresh
+/// application snapshot if the delivery hook produced one (the caller
+/// pushes it into the member).
+pub(crate) fn apply_actions(
+    pid: ProcessId,
+    actions: Vec<timewheel::Action>,
+    transport: &dyn Transport,
+    out: &Sender<NodeOutput>,
+    now: tw_proto::HwTime,
+    hook: &mut Option<DeliveryHook>,
+) -> (Option<tw_proto::HwTime>, Option<Bytes>) {
+    let mut next_clock = None;
+    let mut snapshot = None;
+    for a in actions {
+        match a {
+            timewheel::Action::Broadcast(m) => transport.broadcast(pid, &m),
+            timewheel::Action::Send(to, m) => transport.send(to, &m),
+            timewheel::Action::Deliver(d) => {
+                if let Some(h) = hook {
+                    if let Some(s) = h(AppEvent::Deliver(&d)) {
+                        snapshot = Some(s);
+                    }
+                }
+                let _ = out.send(NodeOutput::Delivery(d));
+            }
+            timewheel::Action::InstallAppState(b) => {
+                if let Some(h) = hook {
+                    if let Some(s) = h(AppEvent::InstallSnapshot(&b)) {
+                        snapshot = Some(s);
+                    }
+                }
+            }
+            timewheel::Action::InstallView(v) => {
+                let _ = out.send(NodeOutput::View(v));
+            }
+            timewheel::Action::LeftGroup { reason } => {
+                let _ = out.send(NodeOutput::Left(reason));
+            }
+            timewheel::Action::ScheduleClockTick(d) => {
+                next_clock = Some(now + d);
+            }
+        }
+    }
+    (next_clock, snapshot)
+}

@@ -1,0 +1,198 @@
+//! The thread-based executor — the baseline the paper measured and
+//! rejected (§5, and the comparison in reference \[22]).
+//!
+//! One thread per event *type*: a receive thread, a protocol-tick thread,
+//! a clock-tick thread and a command thread, all serializing on a mutex
+//! around the shared [`timewheel::Member`]. Every event pays a lock acquisition and
+//! usually a context switch; under load the threads contend. Experiment
+//! T7 quantifies the difference against [`crate::event_loop`].
+
+use crate::node::{apply_actions, NodeCommand, NodeOutput, NodeParts};
+use crate::transport::Incoming;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+pub(crate) fn run(parts: NodeParts) {
+    let NodeParts {
+        mut member,
+        inbox,
+        cmds,
+        out,
+        transport,
+        clock,
+        hook,
+    } = parts;
+    let hook = Arc::new(Mutex::new(hook));
+    let pid = member.pid();
+    let tick = member.config().tick;
+    let resync = member.config().clock.resync_interval;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let next_clock = Arc::new(AtomicI64::new(0));
+
+    // Start the member before the event threads exist.
+    {
+        let now = clock.now_hw();
+        next_clock.store((now + resync).0, Ordering::Relaxed);
+        let actions = member.on_start(now);
+        let (t, snap) = apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+        if let Some(t) = t {
+            next_clock.store(t.0, Ordering::Relaxed);
+        }
+        if let Some(s) = snap {
+            member.set_app_snapshot(s);
+        }
+    }
+    let member = Arc::new(Mutex::new(member));
+
+    let mut handles = Vec::new();
+
+    // Faithful to the paper's baseline: "a separate thread is spawned for
+    // each event type". A demultiplexer thread classifies datagrams by
+    // message kind and hands each kind to its own handler thread; every
+    // handler serializes on the member lock. The per-event context
+    // switches and lock hand-offs are exactly the overhead §5 describes.
+    {
+        let mut kind_txs = std::collections::HashMap::new();
+        for kind in tw_proto::MsgKind::ALL {
+            let (tx, rx) = crossbeam::channel::unbounded::<(tw_proto::ProcessId, tw_proto::Msg)>();
+            kind_txs.insert(kind, tx);
+            let member = member.clone();
+            let transport = transport.clone();
+            let out = out.clone();
+            let clock = clock.clone();
+            let stop = stop.clone();
+            let next_clock = next_clock.clone();
+            let hook = hook.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match rx.recv_timeout(StdDuration::from_millis(20)) {
+                        Ok((from, msg)) => {
+                            let now = clock.now_hw();
+                            let actions = member.lock().on_message(now, from, msg);
+                            let (t, snap) = apply_actions(
+                                pid,
+                                actions,
+                                &*transport,
+                                &out,
+                                now,
+                                &mut hook.lock(),
+                            );
+                            if let Some(t) = t {
+                                next_clock.store(t.0, Ordering::Relaxed);
+                            }
+                            if let Some(s) = snap {
+                                member.lock().set_app_snapshot(s);
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match inbox.recv_timeout(StdDuration::from_millis(20)) {
+                    Ok(Incoming::Msg(from, msg)) => {
+                        if let Some(tx) = kind_txs.get(&msg.kind()) {
+                            let _ = tx.send((from, msg));
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        }));
+    }
+
+    // Protocol-tick thread.
+    {
+        let member = member.clone();
+        let transport = transport.clone();
+        let out = out.clone();
+        let clock = clock.clone();
+        let stop = stop.clone();
+        let next_clock = next_clock.clone();
+        let hook = hook.clone();
+        handles.push(std::thread::spawn(move || {
+            let period = StdDuration::from_micros(tick.as_micros() as u64);
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                let now = clock.now_hw();
+                let actions = member.lock().on_tick(now);
+                let (t, snap) =
+                    apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+                if let Some(t) = t {
+                    next_clock.store(t.0, Ordering::Relaxed);
+                }
+                if let Some(s) = snap {
+                    member.lock().set_app_snapshot(s);
+                }
+            }
+        }));
+    }
+
+    // Clock-tick thread.
+    {
+        let member = member.clone();
+        let transport = transport.clone();
+        let out = out.clone();
+        let clock = clock.clone();
+        let stop = stop.clone();
+        let next_clock = next_clock.clone();
+        let hook = hook.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let now = clock.now_hw();
+                let due = next_clock.load(Ordering::Relaxed);
+                if now.0 >= due {
+                    let actions = member.lock().on_clock_tick(now);
+                    let (t, _) =
+                        apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+                    match t {
+                        Some(t) => next_clock.store(t.0, Ordering::Relaxed),
+                        None => next_clock.store((now + resync).0, Ordering::Relaxed),
+                    }
+                } else {
+                    let wait = ((due - now.0) as u64).min(20_000);
+                    std::thread::sleep(StdDuration::from_micros(wait.max(100)));
+                }
+            }
+        }));
+    }
+
+    // Command handling runs on this thread until shutdown.
+    #[allow(clippy::while_let_loop)] // symmetric with the other match arms
+    loop {
+        match cmds.recv() {
+            Ok(NodeCommand::Propose(payload, sem)) => {
+                let now = clock.now_hw();
+                let r = member.lock().propose(now, payload, sem);
+                match r {
+                    Ok(actions) => {
+                        let (t, snap) =
+                            apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+                        if let Some(t) = t {
+                            next_clock.store(t.0, Ordering::Relaxed);
+                        }
+                        if let Some(s) = snap {
+                            member.lock().set_app_snapshot(s);
+                        }
+                    }
+                    Err(e) => {
+                        let _ = out.send(NodeOutput::ProposeRejected(e));
+                    }
+                }
+            }
+            Ok(NodeCommand::Shutdown) | Err(_) => break,
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+}

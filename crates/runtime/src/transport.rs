@@ -1,0 +1,236 @@
+//! Datagram transports for runtime nodes.
+//!
+//! The protocol assumes an unreliable, unordered datagram service. Both
+//! transports here deliver [`Msg`] values to a node's inbox channel:
+//!
+//! * [`MemTransport`] — a crossbeam channel mesh inside one process.
+//!   Reliable and fast; the timed-asynchronous failure modes are absent,
+//!   which is fine: the protocol only *tolerates* them.
+//! * [`UdpTransport`] — real UDP sockets on localhost (or any address
+//!   map), using the binary wire codec. Genuinely lossy under load,
+//!   exactly the substrate the paper deployed on.
+
+use crossbeam::channel::Sender;
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use tw_proto::{Decode, Encode, Msg, ProcessId};
+
+/// A way for one node to put datagrams on the wire.
+pub trait Transport: Send + Sync + 'static {
+    /// Send to one team member (best effort).
+    fn send(&self, to: ProcessId, msg: &Msg);
+
+    /// Broadcast to every other team member (best effort).
+    fn broadcast(&self, from: ProcessId, msg: &Msg);
+}
+
+/// What lands in a node's inbox.
+#[derive(Debug, Clone)]
+pub enum Incoming {
+    /// A datagram from another node.
+    Msg(ProcessId, Msg),
+}
+
+/// In-process channel mesh: node `i`'s sender delivers into node `i`'s
+/// inbox channel.
+pub struct MemTransport {
+    inboxes: Vec<Sender<Incoming>>,
+}
+
+impl MemTransport {
+    /// Build a mesh over the given inbox senders (index = rank).
+    pub fn new(inboxes: Vec<Sender<Incoming>>) -> Arc<Self> {
+        Arc::new(MemTransport { inboxes })
+    }
+
+    /// Team size.
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// True when the mesh is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&self, to: ProcessId, msg: &Msg) {
+        if let Some(tx) = self.inboxes.get(to.rank()) {
+            // The receiver may have shut down; that is a crash, and
+            // datagrams to crashed processes vanish.
+            let _ = tx.send(Incoming::Msg(msg.sender(), msg.clone()));
+        }
+    }
+
+    fn broadcast(&self, from: ProcessId, msg: &Msg) {
+        for (rank, tx) in self.inboxes.iter().enumerate() {
+            if rank != from.rank() {
+                let _ = tx.send(Incoming::Msg(from, msg.clone()));
+            }
+        }
+    }
+}
+
+/// Real UDP datagrams with the binary wire codec.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peers: HashMap<ProcessId, SocketAddr>,
+    me: ProcessId,
+    stop: std::sync::atomic::AtomicBool,
+}
+
+impl UdpTransport {
+    /// Bind `me`'s socket and remember the peer address map.
+    pub fn bind(
+        me: ProcessId,
+        addr: SocketAddr,
+        peers: HashMap<ProcessId, SocketAddr>,
+    ) -> std::io::Result<Arc<Self>> {
+        let socket = UdpSocket::bind(addr)?;
+        Ok(Arc::new(UdpTransport {
+            socket,
+            peers,
+            me,
+            stop: std::sync::atomic::AtomicBool::new(false),
+        }))
+    }
+
+    /// Ask the receive loop to exit at its next poll.
+    pub fn shutdown(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Spawn the receive loop: decodes datagrams and forwards them into
+    /// `inbox` until the socket errors or the inbox closes.
+    pub fn spawn_receiver(
+        self: &Arc<Self>,
+        inbox: Sender<Incoming>,
+    ) -> std::thread::JoinHandle<()> {
+        let me = self.clone();
+        std::thread::Builder::new()
+            .name(format!("udp-rx-{}", me.me))
+            .spawn(move || {
+                let mut buf = vec![0u8; 64 * 1024];
+                // A read timeout lets the thread notice inbox closure.
+                let _ = me
+                    .socket
+                    .set_read_timeout(Some(std::time::Duration::from_millis(200)));
+                loop {
+                    if me.stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    match me.socket.recv_from(&mut buf) {
+                        Ok((len, _src)) => {
+                            if let Ok(msg) = Msg::from_bytes(&buf[..len]) {
+                                let from = msg.sender();
+                                if inbox.send(Incoming::Msg(from, msg)).is_err() {
+                                    return;
+                                }
+                            }
+                            // Undecodable datagrams are dropped — the
+                            // model's omission failure.
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn udp receiver")
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&self, to: ProcessId, msg: &Msg) {
+        if let Some(addr) = self.peers.get(&to) {
+            let _ = self.socket.send_to(&msg.to_bytes(), addr);
+        }
+    }
+
+    fn broadcast(&self, from: ProcessId, msg: &Msg) {
+        let bytes = msg.to_bytes();
+        for (pid, addr) in &self.peers {
+            if *pid != from {
+                let _ = self.socket.send_to(&bytes, addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use tw_proto::{ClockSyncMsg, HwTime};
+
+    fn sample(from: u16) -> Msg {
+        Msg::ClockSync(ClockSyncMsg::Request {
+            sender: ProcessId(from),
+            rid: 7,
+            hw_send: HwTime(1),
+        })
+    }
+
+    #[test]
+    fn mem_transport_send_routes_to_inbox() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let t = MemTransport::new(vec![tx0, tx1]);
+        t.send(ProcessId(1), &sample(0));
+        match rx1.try_recv().unwrap() {
+            Incoming::Msg(from, _) => assert_eq!(from, ProcessId(0)),
+        }
+        assert!(rx0.try_recv().is_err());
+    }
+
+    #[test]
+    fn mem_transport_broadcast_skips_sender() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let (tx2, rx2) = unbounded();
+        let t = MemTransport::new(vec![tx0, tx1, tx2]);
+        t.broadcast(ProcessId(1), &sample(1));
+        assert!(rx0.try_recv().is_ok());
+        assert!(rx1.try_recv().is_err());
+        assert!(rx2.try_recv().is_ok());
+    }
+
+    #[test]
+    fn mem_transport_tolerates_dead_receiver() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        drop(rx1);
+        let t = MemTransport::new(vec![tx0, tx1]);
+        t.broadcast(ProcessId(0), &sample(0)); // must not panic
+        drop(rx0);
+        t.send(ProcessId(1), &sample(0));
+    }
+
+    #[test]
+    fn udp_transport_round_trip() {
+        let a_addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        // Bind two sockets on ephemeral ports, then exchange.
+        let tmp_a = UdpSocket::bind(a_addr).unwrap();
+        let tmp_b = UdpSocket::bind(a_addr).unwrap();
+        let addr_a = tmp_a.local_addr().unwrap();
+        let addr_b = tmp_b.local_addr().unwrap();
+        drop(tmp_a);
+        drop(tmp_b);
+        let peers: HashMap<ProcessId, SocketAddr> =
+            [(ProcessId(0), addr_a), (ProcessId(1), addr_b)].into();
+        let ta = UdpTransport::bind(ProcessId(0), addr_a, peers.clone()).unwrap();
+        let tb = UdpTransport::bind(ProcessId(1), addr_b, peers).unwrap();
+        let (tx, rx) = unbounded();
+        let _h = tb.spawn_receiver(tx);
+        ta.send(ProcessId(1), &sample(0));
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            Incoming::Msg(from, msg) => {
+                assert_eq!(from, ProcessId(0));
+                assert_eq!(msg, sample(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Real-time cluster tests: both executors and both transports must form
+//! a group and deliver updates on actual threads and sockets.
+
+use bytes::Bytes;
+use std::time::Duration as StdDuration;
+use timewheel::Config;
+use tw_proto::{Duration, Semantics};
+use tw_runtime::{spawn_cluster, spawn_udp_cluster, ExecutorKind, Node, NodeOutput};
+
+fn cfg(n: usize) -> Config {
+    Config::for_team(n, Duration::from_millis(10))
+}
+
+fn form_group(nodes: &[Node], n: usize) {
+    for node in nodes {
+        let v = node
+            .wait_for_view(n, StdDuration::from_secs(20))
+            .unwrap_or_else(|| panic!("{} never saw the full view", node.pid));
+        assert_eq!(v.len(), n);
+    }
+}
+
+fn shutdown(nodes: Vec<Node>) {
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+fn cluster_forms_and_delivers(kind: ExecutorKind) {
+    let n = 3;
+    let nodes = spawn_cluster(kind, cfg(n));
+    form_group(&nodes, n);
+    // Propose from node 0; every node must deliver.
+    nodes[0].propose(Bytes::from_static(b"hello"), Semantics::TOTAL_STRONG);
+    for node in &nodes {
+        let ds = node.wait_for_deliveries(1, StdDuration::from_secs(10));
+        assert_eq!(ds.len(), 1, "{} missed the delivery", node.pid);
+        assert_eq!(ds[0].payload, Bytes::from_static(b"hello"));
+    }
+    shutdown(nodes);
+}
+
+#[test]
+fn event_loop_cluster_forms_and_delivers() {
+    cluster_forms_and_delivers(ExecutorKind::EventLoop);
+}
+
+#[test]
+fn threaded_cluster_forms_and_delivers() {
+    cluster_forms_and_delivers(ExecutorKind::Threaded);
+}
+
+#[test]
+fn udp_cluster_forms_and_delivers() {
+    let n = 3;
+    let nodes = spawn_udp_cluster(ExecutorKind::EventLoop, cfg(n)).expect("bind sockets");
+    form_group(&nodes, n);
+    nodes[1].propose(Bytes::from_static(b"over-udp"), Semantics::UNORDERED_WEAK);
+    for node in &nodes {
+        let ds = node.wait_for_deliveries(1, StdDuration::from_secs(10));
+        assert_eq!(ds.len(), 1, "{} missed the delivery", node.pid);
+    }
+    shutdown(nodes);
+}
+
+#[test]
+fn both_executors_deliver_a_burst_identically() {
+    let n = 3;
+    let count = 20;
+    for kind in [ExecutorKind::EventLoop, ExecutorKind::Threaded] {
+        let nodes = spawn_cluster(kind, cfg(n));
+        form_group(&nodes, n);
+        for k in 0..count {
+            nodes[k % n].propose(Bytes::from(format!("u{k}")), Semantics::TOTAL_STRONG);
+            std::thread::sleep(StdDuration::from_millis(5));
+        }
+        for node in &nodes {
+            let ds = node.wait_for_deliveries(count, StdDuration::from_secs(30));
+            assert_eq!(ds.len(), count, "{:?}: {} incomplete", kind, node.pid);
+        }
+        shutdown(nodes);
+    }
+}
+
+#[test]
+fn shutdown_node_is_removed_from_membership() {
+    let n = 3;
+    let nodes = spawn_cluster(ExecutorKind::EventLoop, cfg(n));
+    form_group(&nodes, n);
+    let mut it = nodes.into_iter();
+    let dead = it.next().unwrap();
+    let rest: Vec<Node> = it.collect();
+    dead.shutdown(); // crash, as seen by the others
+    for node in &rest {
+        let v = node
+            .wait_for_view(n - 1, StdDuration::from_secs(20))
+            .unwrap_or_else(|| panic!("{} never removed the dead node", node.pid));
+        assert!(!v.contains(tw_proto::ProcessId(0)));
+    }
+    shutdown(rest);
+}
+
+#[test]
+fn propose_before_membership_is_rejected() {
+    // A 2-team with only one node started: no group can form, proposals
+    // must be rejected with NotMember/NotSynced.
+    let c = cfg(2);
+    let mut nodes = spawn_cluster(ExecutorKind::EventLoop, c);
+    let lone = nodes.remove(0);
+    // Shut the second node immediately: the first stays groupless.
+    nodes.remove(0).shutdown();
+    std::thread::sleep(StdDuration::from_millis(300));
+    lone.propose(Bytes::from_static(b"x"), Semantics::UNORDERED_WEAK);
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    let mut rejected = false;
+    while std::time::Instant::now() < deadline {
+        match lone.outputs.recv_timeout(StdDuration::from_millis(200)) {
+            Ok(NodeOutput::ProposeRejected(_)) => {
+                rejected = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(_) => continue,
+        }
+    }
+    assert!(rejected, "groupless propose was not rejected");
+    lone.shutdown();
+}

@@ -1,0 +1,136 @@
+//! Drifting hardware clocks.
+//!
+//! Each process owns a [`HardwareClock`]: monotone, never adjusted, with a
+//! constant drift rate bounded by ρ and an arbitrary initial offset —
+//! exactly the paper's §2 assumption ("the deviation between two correct
+//! hardware clocks can be arbitrarily large", drift of order 1e-4…1e-6).
+//! Clocks have crash failure semantics: they are correct until the process
+//! crashes.
+
+use crate::time::SimTime;
+use tw_proto::{Duration, HwTime};
+
+/// Static description of one process's hardware clock.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockConfig {
+    /// Constant drift rate (e.g. `80e-6` = 80 ppm fast, negative = slow).
+    /// |drift| must stay below the model bound ρ chosen by the protocol
+    /// configuration.
+    pub drift: f64,
+    /// Initial reading at simulation start (clocks are unsynchronized, so
+    /// this can be anything).
+    pub offset: HwTime,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            drift: 0.0,
+            offset: HwTime::ZERO,
+        }
+    }
+}
+
+impl ClockConfig {
+    /// A clock with the given ppm drift and zero offset.
+    pub fn with_drift_ppm(ppm: f64) -> Self {
+        ClockConfig {
+            drift: ppm * 1e-6,
+            offset: HwTime::ZERO,
+        }
+    }
+}
+
+/// A running hardware clock: maps simulated real time to this process's
+/// hardware time.
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareClock {
+    cfg: ClockConfig,
+}
+
+impl HardwareClock {
+    /// Build a clock from its configuration.
+    pub fn new(cfg: ClockConfig) -> Self {
+        HardwareClock { cfg }
+    }
+
+    /// The configured drift rate.
+    #[inline]
+    pub fn drift(&self) -> f64 {
+        self.cfg.drift
+    }
+
+    /// Read the clock at real time `now`:
+    /// `H(t) = offset + (1 + drift) · t`.
+    pub fn read(&self, now: SimTime) -> HwTime {
+        let scaled = (now.as_micros() as f64 * (1.0 + self.cfg.drift)).round() as i64;
+        HwTime(self.cfg.offset.0 + scaled)
+    }
+
+    /// Convert a *hardware* duration into the real duration it takes this
+    /// clock to advance by it (used to schedule timers specified in
+    /// hardware time).
+    pub fn hw_to_real(&self, d: Duration) -> Duration {
+        Duration((d.as_micros() as f64 / (1.0 + self.cfg.drift)).round() as i64)
+    }
+
+    /// Convert a real duration into how much this clock advances over it.
+    pub fn real_to_hw(&self, d: Duration) -> Duration {
+        Duration((d.as_micros() as f64 * (1.0 + self.cfg.drift)).round() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_drift_tracks_real_time() {
+        let c = HardwareClock::new(ClockConfig::default());
+        assert_eq!(c.read(SimTime::from_millis(5)), HwTime::from_millis(5));
+    }
+
+    #[test]
+    fn offset_applies() {
+        let c = HardwareClock::new(ClockConfig {
+            drift: 0.0,
+            offset: HwTime::from_millis(100),
+        });
+        assert_eq!(c.read(SimTime::from_millis(5)), HwTime::from_millis(105));
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        // 100 ppm fast: over 10 s the clock gains 1 ms.
+        let c = HardwareClock::new(ClockConfig::with_drift_ppm(100.0));
+        let hw = c.read(SimTime::from_secs(10));
+        assert_eq!(hw, HwTime::from_micros(10_000_000 + 1_000));
+    }
+
+    #[test]
+    fn negative_drift_lags() {
+        let c = HardwareClock::new(ClockConfig::with_drift_ppm(-100.0));
+        let hw = c.read(SimTime::from_secs(10));
+        assert_eq!(hw, HwTime::from_micros(10_000_000 - 1_000));
+    }
+
+    #[test]
+    fn hw_real_conversions_inverse() {
+        let c = HardwareClock::new(ClockConfig::with_drift_ppm(200.0));
+        let d = Duration::from_secs(5);
+        let real = c.hw_to_real(d);
+        let back = c.real_to_hw(real);
+        assert!((back.as_micros() - d.as_micros()).abs() <= 1);
+    }
+
+    #[test]
+    fn monotone() {
+        let c = HardwareClock::new(ClockConfig::with_drift_ppm(-300.0));
+        let mut prev = c.read(SimTime::ZERO);
+        for i in 1..100 {
+            let cur = c.read(SimTime::from_millis(i));
+            assert!(cur > prev);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Targeted fault injection.
+//!
+//! The background [`LinkModel`](crate::link::LinkModel) draws random fates
+//! for every datagram; experiments additionally need *surgical* faults:
+//! "drop the next decision message from p2", "delay exactly one datagram
+//! from p0 to p3 past δ". A [`Fault`] pairs a [`MsgMatcher`] with an
+//! action and a budget of matches.
+
+use std::fmt;
+use std::rc::Rc;
+use tw_proto::{Duration, ProcessId};
+
+/// Predicate over in-flight datagrams.
+#[derive(Clone)]
+pub struct MsgMatcher<M> {
+    /// Only datagrams from this sender (any if `None`).
+    pub from: Option<ProcessId>,
+    /// Only datagrams to this destination (any if `None`).
+    pub to: Option<ProcessId>,
+    /// Arbitrary payload predicate (always true if `None`).
+    #[allow(clippy::type_complexity)]
+    pub pred: Option<Rc<dyn Fn(&M) -> bool>>,
+}
+
+impl<M> Default for MsgMatcher<M> {
+    fn default() -> Self {
+        MsgMatcher {
+            from: None,
+            to: None,
+            pred: None,
+        }
+    }
+}
+
+impl<M> MsgMatcher<M> {
+    /// Match everything.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to a sender.
+    pub fn from(mut self, p: ProcessId) -> Self {
+        self.from = Some(p);
+        self
+    }
+
+    /// Restrict to a destination.
+    pub fn to(mut self, p: ProcessId) -> Self {
+        self.to = Some(p);
+        self
+    }
+
+    /// Restrict by payload predicate.
+    pub fn matching(mut self, pred: impl Fn(&M) -> bool + 'static) -> Self {
+        self.pred = Some(Rc::new(pred));
+        self
+    }
+
+    /// Does this matcher select the given datagram?
+    pub fn matches(&self, from: ProcessId, to: ProcessId, msg: &M) -> bool {
+        if let Some(f) = self.from {
+            if f != from {
+                return false;
+            }
+        }
+        if let Some(t) = self.to {
+            if t != to {
+                return false;
+            }
+        }
+        match &self.pred {
+            Some(p) => p(msg),
+            None => true,
+        }
+    }
+}
+
+impl<M> fmt::Debug for MsgMatcher<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsgMatcher")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("pred", &self.pred.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// What to do with a matched datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Drop it (omission failure).
+    Drop,
+    /// Add the given delay on top of the link delay (performance failure
+    /// when the total exceeds δ).
+    Delay(Duration),
+}
+
+/// A targeted fault: applies `action` to up to `budget` datagrams matched
+/// by `matcher`, then expires. `budget == None` means unlimited.
+#[derive(Debug, Clone)]
+pub struct Fault<M> {
+    /// Which datagrams are affected.
+    pub matcher: MsgMatcher<M>,
+    /// What happens to them.
+    pub action: FaultAction,
+    /// How many more datagrams this fault may affect.
+    pub budget: Option<u32>,
+}
+
+impl<M> Fault<M> {
+    /// Drop the next `count` datagrams matching `matcher`.
+    pub fn drop_next(matcher: MsgMatcher<M>, count: u32) -> Self {
+        Fault {
+            matcher,
+            action: FaultAction::Drop,
+            budget: Some(count),
+        }
+    }
+
+    /// Delay the next `count` matching datagrams by `extra`.
+    pub fn delay_next(matcher: MsgMatcher<M>, count: u32, extra: Duration) -> Self {
+        Fault {
+            matcher,
+            action: FaultAction::Delay(extra),
+            budget: Some(count),
+        }
+    }
+
+    /// Drop every matching datagram until the fault is cleared.
+    pub fn drop_all(matcher: MsgMatcher<M>) -> Self {
+        Fault {
+            matcher,
+            action: FaultAction::Drop,
+            budget: None,
+        }
+    }
+
+    /// If this fault matches, consume one unit of budget and return the
+    /// action. Returns `None` when it doesn't match or is exhausted.
+    pub fn apply(&mut self, from: ProcessId, to: ProcessId, msg: &M) -> Option<FaultAction> {
+        if let Some(0) = self.budget {
+            return None;
+        }
+        if !self.matcher.matches(from, to, msg) {
+            return None;
+        }
+        if let Some(b) = &mut self.budget {
+            *b -= 1;
+        }
+        Some(self.action)
+    }
+
+    /// True once the budget is used up.
+    pub fn exhausted(&self) -> bool {
+        self.budget == Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matcher_filters_endpoints() {
+        let m: MsgMatcher<u32> = MsgMatcher::any().from(ProcessId(1)).to(ProcessId(2));
+        assert!(m.matches(ProcessId(1), ProcessId(2), &0));
+        assert!(!m.matches(ProcessId(0), ProcessId(2), &0));
+        assert!(!m.matches(ProcessId(1), ProcessId(3), &0));
+    }
+
+    #[test]
+    fn matcher_payload_predicate() {
+        let m: MsgMatcher<u32> = MsgMatcher::any().matching(|v| *v > 10);
+        assert!(m.matches(ProcessId(0), ProcessId(1), &11));
+        assert!(!m.matches(ProcessId(0), ProcessId(1), &9));
+    }
+
+    #[test]
+    fn fault_budget_decrements_and_expires() {
+        let mut f: Fault<u32> = Fault::drop_next(MsgMatcher::any(), 2);
+        assert_eq!(
+            f.apply(ProcessId(0), ProcessId(1), &0),
+            Some(FaultAction::Drop)
+        );
+        assert!(!f.exhausted());
+        assert_eq!(
+            f.apply(ProcessId(0), ProcessId(1), &0),
+            Some(FaultAction::Drop)
+        );
+        assert!(f.exhausted());
+        assert_eq!(f.apply(ProcessId(0), ProcessId(1), &0), None);
+    }
+
+    #[test]
+    fn non_matching_does_not_consume_budget() {
+        let mut f: Fault<u32> = Fault::drop_next(MsgMatcher::any().from(ProcessId(5)), 1);
+        assert_eq!(f.apply(ProcessId(0), ProcessId(1), &0), None);
+        assert!(!f.exhausted());
+        assert_eq!(
+            f.apply(ProcessId(5), ProcessId(1), &0),
+            Some(FaultAction::Drop)
+        );
+    }
+
+    #[test]
+    fn unlimited_fault_never_exhausts() {
+        let mut f: Fault<u32> = Fault::drop_all(MsgMatcher::any());
+        for _ in 0..100 {
+            assert!(f.apply(ProcessId(0), ProcessId(1), &0).is_some());
+        }
+        assert!(!f.exhausted());
+    }
+
+    #[test]
+    fn delay_action_carries_duration() {
+        let mut f: Fault<u32> = Fault::delay_next(MsgMatcher::any(), 1, Duration::from_millis(30));
+        assert_eq!(
+            f.apply(ProcessId(0), ProcessId(1), &0),
+            Some(FaultAction::Delay(Duration::from_millis(30)))
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # tw-sim — deterministic discrete-event simulation substrate
+//!
+//! The paper's evaluation environment was a handful of SGI workstations on
+//! a 10 Mb/s Ethernet speaking UDP. What the timewheel protocols actually
+//! *assume* of that environment is the **timed asynchronous system model**:
+//!
+//! * a datagram service with *omission/performance* failure semantics —
+//!   messages are lost or late (past the one-way timeout δ), never
+//!   corrupted or duplicated in undetectable ways;
+//! * processes with *crash/performance* failure semantics and a maximum
+//!   scheduling delay σ;
+//! * local hardware clocks with bounded drift ρ, unsynchronized.
+//!
+//! This crate implements exactly that model as a deterministic, seeded
+//! discrete-event simulator, so every experiment in the benchmark harness
+//! is reproducible bit-for-bit and timing claims can be *measured* rather
+//! than eyeballed. See DESIGN.md §2 for the substitution argument.
+//!
+//! ## Shape
+//!
+//! A [`World`] owns `N` processes (all the same [`Actor`] type), a
+//! [`LinkModel`] describing the network, per-process [`HardwareClock`]s,
+//! fault injection ([`fault::Fault`], partitions, crash/recovery scripts)
+//! and a [`stats::Stats`] ledger. Actors interact with the world only
+//! through [`Ctx`] effects — send/broadcast/timers/traces — which keeps
+//! them deterministic state machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod fault;
+pub mod link;
+pub mod stats;
+pub mod time;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::clock::{ClockConfig, HardwareClock};
+    pub use crate::engine::{Actor, Ctx, Payload, ProcessStatus, TimerId, World, WorldConfig};
+    pub use crate::fault::{Fault, MsgMatcher};
+    pub use crate::link::LinkModel;
+    pub use crate::stats::Stats;
+    pub use crate::time::SimTime;
+}
+
+pub use prelude::*;

@@ -1,0 +1,182 @@
+//! Message and delivery accounting.
+//!
+//! The failure-free-load experiment (T1) is a *counting* argument: during
+//! stable periods the only traffic is the broadcast protocol's decision
+//! rotation — zero no-decision/join/reconfiguration messages. [`Stats`]
+//! keeps the ledgers that make that measurable, keyed by the payload's
+//! kind label.
+//!
+//! Two granularities are tracked: *sends* (one per `send`/`broadcast` call
+//! — what a process pays, and what a broadcast Ethernet carries) and
+//! *datagrams* (one per destination — what a unicast fan-out would carry).
+
+use std::collections::BTreeMap;
+use tw_proto::ProcessId;
+
+/// Counters for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounters {
+    /// send/broadcast operations.
+    pub sends: u64,
+    /// per-destination datagrams put on the wire.
+    pub datagrams: u64,
+    /// datagrams delivered to a live process.
+    pub delivered: u64,
+    /// datagrams dropped (background omission or injected fault).
+    pub dropped: u64,
+    /// datagrams delivered late (performance failure).
+    pub late: u64,
+    /// datagrams discarded because the destination was crashed.
+    pub to_crashed: u64,
+}
+
+/// The world's message ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    by_kind: BTreeMap<&'static str, KindCounters>,
+    sends_by_process: BTreeMap<ProcessId, u64>,
+}
+
+impl Stats {
+    /// Fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all counters (e.g. after warm-up, to measure steady state).
+    pub fn reset(&mut self) {
+        self.by_kind.clear();
+        self.sends_by_process.clear();
+    }
+
+    fn kind_mut(&mut self, kind: &'static str) -> &mut KindCounters {
+        self.by_kind.entry(kind).or_default()
+    }
+
+    /// Record one send/broadcast operation by `from`.
+    pub fn record_send(&mut self, kind: &'static str, from: ProcessId) {
+        self.kind_mut(kind).sends += 1;
+        *self.sends_by_process.entry(from).or_default() += 1;
+    }
+
+    /// Record one datagram put on the wire.
+    pub fn record_datagram(&mut self, kind: &'static str) {
+        self.kind_mut(kind).datagrams += 1;
+    }
+
+    /// Record a datagram delivered to a live destination.
+    pub fn record_delivered(&mut self, kind: &'static str, late: bool) {
+        let k = self.kind_mut(kind);
+        k.delivered += 1;
+        if late {
+            k.late += 1;
+        }
+    }
+
+    /// Record a dropped datagram.
+    pub fn record_dropped(&mut self, kind: &'static str) {
+        self.kind_mut(kind).dropped += 1;
+    }
+
+    /// Record a datagram that arrived at a crashed process.
+    pub fn record_to_crashed(&mut self, kind: &'static str) {
+        self.kind_mut(kind).to_crashed += 1;
+    }
+
+    /// Counters for one kind (zeros if never seen).
+    pub fn kind(&self, kind: &str) -> KindCounters {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterate `(kind, counters)` pairs, sorted by kind.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &KindCounters)> {
+        self.by_kind.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total send operations across all kinds.
+    pub fn total_sends(&self) -> u64 {
+        self.by_kind.values().map(|c| c.sends).sum()
+    }
+
+    /// Total sends of the kinds named in `kinds`.
+    pub fn sends_of(&self, kinds: &[&str]) -> u64 {
+        kinds.iter().map(|k| self.kind(k).sends).sum()
+    }
+
+    /// Sends per process, sorted by process id.
+    pub fn sends_by_process(&self) -> Vec<(ProcessId, u64)> {
+        self.sends_by_process
+            .iter()
+            .map(|(p, c)| (*p, *c))
+            .collect()
+    }
+
+    /// Largest per-process send count minus smallest, over processes that
+    /// sent anything — a quick skew measure for the load-balance claim
+    /// (the decider role rotates, so decision load is even).
+    pub fn send_skew(&self) -> u64 {
+        let max = self.sends_by_process.values().max().copied().unwrap_or(0);
+        let min = self.sends_by_process.values().min().copied().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.record_send("decision", ProcessId(0));
+        s.record_send("decision", ProcessId(1));
+        s.record_datagram("decision");
+        s.record_delivered("decision", false);
+        s.record_delivered("decision", true);
+        s.record_dropped("decision");
+        let k = s.kind("decision");
+        assert_eq!(k.sends, 2);
+        assert_eq!(k.datagrams, 1);
+        assert_eq!(k.delivered, 2);
+        assert_eq!(k.late, 1);
+        assert_eq!(k.dropped, 1);
+    }
+
+    #[test]
+    fn unseen_kind_is_zero() {
+        let s = Stats::new();
+        assert_eq!(s.kind("join"), KindCounters::default());
+        assert_eq!(s.total_sends(), 0);
+    }
+
+    #[test]
+    fn sends_of_sums_selected_kinds() {
+        let mut s = Stats::new();
+        s.record_send("join", ProcessId(0));
+        s.record_send("reconfig", ProcessId(0));
+        s.record_send("decision", ProcessId(0));
+        assert_eq!(s.sends_of(&["join", "reconfig"]), 2);
+        assert_eq!(s.total_sends(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = Stats::new();
+        s.record_send("decision", ProcessId(0));
+        s.reset();
+        assert_eq!(s.total_sends(), 0);
+        assert!(s.sends_by_process().is_empty());
+    }
+
+    #[test]
+    fn skew_measures_imbalance() {
+        let mut s = Stats::new();
+        for _ in 0..5 {
+            s.record_send("decision", ProcessId(0));
+        }
+        for _ in 0..3 {
+            s.record_send("decision", ProcessId(1));
+        }
+        assert_eq!(s.send_skew(), 2);
+    }
+}

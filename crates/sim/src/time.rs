@@ -1,0 +1,163 @@
+//! Simulated real time.
+//!
+//! [`SimTime`] is the simulator's global ("true") time base — the time an
+//! omniscient observer would read. No process ever sees it directly:
+//! processes read their drifting [`HardwareClock`](crate::clock) or the
+//! synchronized clock built on top. Experiments, however, measure
+//! latencies in `SimTime`, which is exactly the observer's stopwatch the
+//! paper's timed specification is phrased in.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+use tw_proto::Duration;
+
+/// An instant of simulated real time, in microseconds from simulation
+/// start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than every event (used as "run forever" horizon).
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: i64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional seconds since simulation start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Elapsed duration since `earlier` (may be negative).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: Duration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl SubAssign<Duration> for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, d: Duration) {
+        self.0 -= d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: SimTime) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10);
+        assert_eq!(t + Duration::from_millis(5), SimTime::from_millis(15));
+        assert_eq!(t - Duration::from_millis(5), SimTime::from_millis(5));
+        assert_eq!(
+            SimTime::from_millis(15) - SimTime::from_millis(10),
+            Duration::from_millis(5)
+        );
+        assert_eq!(t.since(SimTime::ZERO), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn conversions_and_ordering() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(
+            SimTime::from_millis(1).max(SimTime::from_millis(2)),
+            SimTime::from_millis(2)
+        );
+        assert_eq!(
+            SimTime::from_millis(1).min(SimTime::from_millis(2)),
+            SimTime::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t=1.500000s");
+    }
+}

@@ -1,0 +1,69 @@
+//! A replicated counter — the paper's motivating use case: a dependable
+//! service implemented by a team of replicated servers that stay
+//! consistent through the group communication service.
+//!
+//! Three real nodes (event-loop executor, in-process datagrams) each
+//! apply totally-ordered, strongly-atomic increments to a local counter;
+//! because every replica delivers the same updates in the same order, the
+//! counters agree at every prefix.
+//!
+//! Run with: `cargo run --example replicated_counter`
+
+use bytes::Bytes;
+use std::time::Duration as StdDuration;
+use timewheel::Config;
+use tw_proto::{Duration, Semantics};
+use tw_runtime::{spawn_cluster, ExecutorKind};
+
+fn main() {
+    let n = 3;
+    let cfg = Config::for_team(n, Duration::from_millis(10));
+    println!("starting {n} replicas (event-loop executor)…");
+    let nodes = spawn_cluster(ExecutorKind::EventLoop, cfg);
+
+    for node in &nodes {
+        node.wait_for_view(n, StdDuration::from_secs(20))
+            .expect("group formation");
+    }
+    println!("group formed.");
+
+    // Clients at different replicas concurrently add amounts.
+    let increments: &[(usize, i64)] = &[(0, 5), (1, 7), (2, 11), (0, -3), (1, 2), (2, 20)];
+    for (replica, amount) in increments {
+        nodes[*replica].propose(
+            Bytes::from(amount.to_le_bytes().to_vec()),
+            Semantics::TOTAL_STRONG,
+        );
+        std::thread::sleep(StdDuration::from_millis(20));
+    }
+
+    // Each replica applies deliveries to its own counter.
+    let mut finals = Vec::new();
+    for node in &nodes {
+        let ds = node.wait_for_deliveries(increments.len(), StdDuration::from_secs(20));
+        let mut counter = 0i64;
+        let mut trace = Vec::new();
+        for d in &ds {
+            let amount = i64::from_le_bytes(d.payload.as_ref().try_into().expect("8 bytes"));
+            counter += amount;
+            trace.push(counter);
+        }
+        println!(
+            "replica {}: applied {} increments, trajectory {:?}, final = {}",
+            node.pid,
+            ds.len(),
+            trace,
+            counter
+        );
+        finals.push((ds.len(), trace, counter));
+    }
+    assert!(
+        finals.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged!"
+    );
+    println!("all replicas agree (identical trajectories, not just totals).");
+
+    for node in nodes {
+        node.shutdown();
+    }
+}
