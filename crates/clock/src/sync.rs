@@ -6,6 +6,10 @@
 //! same machine runs unchanged on the simulator, the event-loop runtime,
 //! the thread-based runtime and the UDP runtime.
 
+// tw-lint: allow-file(float-state) -- ρ (drift bound) and the ε error-bound
+// derivation follow the paper's real-valued formulas; results are rounded to
+// integral micros before they touch any protocol decision.
+
 use std::collections::BTreeMap;
 use tw_proto::{ClockSyncMsg, Duration, HwTime, ProcessId, SyncTime};
 

@@ -28,7 +28,7 @@ pub struct Config {
     /// Maximum scheduling delay σ (used in slot sizing and margins).
     pub sigma: Duration,
     /// Hardware clock drift bound ρ.
-    pub rho: f64,
+    pub rho: f64, // tw-lint: allow(float-state) -- paper's drift *bound* parameter; never mixed into protocol arithmetic, which derives integral ε/Δ micros once at config time
     /// Synchronized clock deviation bound ε.
     pub epsilon: Duration,
     /// Granularity at which deadline predicates are evaluated. Detection

@@ -51,6 +51,24 @@ pub struct SimMember {
     pub on_deliver: Option<DeliveryHook>,
 }
 
+/// Manual impl: the exhaustive schedule explorer (`tw_sim::explore`)
+/// forks member state at every branch point, but [`DeliveryHook`] is an
+/// arbitrary `FnMut` and not clonable — forks carry the full protocol
+/// state and logs with `on_deliver` reset to `None`. Explored scenarios
+/// therefore exercise the protocol layer, not application hooks.
+impl Clone for SimMember {
+    fn clone(&self) -> Self {
+        SimMember {
+            member: self.member.clone(),
+            deliveries: self.deliveries.clone(),
+            delivery_views: self.delivery_views.clone(),
+            views: self.views.clone(),
+            leaves: self.leaves.clone(),
+            on_deliver: None,
+        }
+    }
+}
+
 impl SimMember {
     /// Wrap a member.
     pub fn new(member: Member) -> Self {
@@ -70,7 +88,7 @@ impl SimMember {
         self
     }
 
-    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Ctx<'_, Msg>) {
+    pub(crate) fn apply(&mut self, actions: Vec<Action>, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now_hw();
         for a in actions {
             match a {
@@ -101,7 +119,7 @@ impl SimMember {
         }
     }
 
-    fn arm_tick(&self, ctx: &mut Ctx<'_, Msg>) {
+    pub(crate) fn arm_tick(&self, ctx: &mut Ctx<'_, Msg>) {
         ctx.set_timer(self.member.config().tick, TICK);
     }
 }
@@ -155,7 +173,7 @@ pub struct TeamParams {
     pub link: LinkModel,
     /// Hardware clock drift magnitude; process `i` gets
     /// `±drift_ppm` alternating, so clocks genuinely diverge.
-    pub drift_ppm: f64,
+    pub drift_ppm: f64, // tw-lint: allow(float-state) -- experiment knob for the simulated clock environment, not protocol state
     /// Override the derived protocol config (for ablations).
     pub config: Option<Config>,
 }

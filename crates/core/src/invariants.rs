@@ -2,7 +2,9 @@
 //!
 //! These checkers encode the paper's correctness properties over the logs
 //! a [`crate::harness::SimMember`] records — the integration
-//! and property tests run them after every scenario:
+//! and property tests run them after every scenario, and the bounded
+//! schedule explorer (`cargo xtask explore`) runs them at every terminal
+//! state it enumerates:
 //!
 //! * **view agreement** — views with the same id have identical member
 //!   sets, and no two different *completed* majority groups (groups
@@ -16,6 +18,12 @@
 //! * **time-order** — each member delivers time-ordered updates in
 //!   non-decreasing send-timestamp order;
 //! * **no duplicates** — no member delivers the same update twice.
+//!
+//! Every checker operates on a plain slice of member logs
+//! (`&[&SimMember]`), so any host that can produce logs — the seeded
+//! [`World`], the exhaustive explorer, or a test fabricating corrupted
+//! logs directly — gets the same verdicts. The `*`-suffixed `_world`
+//! wrappers adapt a finished simulation.
 
 use crate::events::Delivery;
 use crate::harness::SimMember;
@@ -33,15 +41,22 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Check every invariant; returns all violations found (empty = clean).
+/// Check every invariant over a finished simulation; returns all
+/// violations found (empty = clean).
 pub fn check_all(world: &World<SimMember>) -> Vec<Violation> {
+    check_all_members(&members_of(world))
+}
+
+/// Check every invariant over a slice of member logs (the member at
+/// index `i` must be process `i`; the slice length is the team size).
+pub fn check_all_members(members: &[&SimMember]) -> Vec<Violation> {
     let mut v = Vec::new();
-    v.extend(check_view_agreement(world));
-    v.extend(check_majority(world));
-    v.extend(check_total_order_agreement(world));
-    v.extend(check_fifo(world));
-    v.extend(check_time_order(world));
-    v.extend(check_no_duplicate_deliveries(world));
+    v.extend(check_view_agreement(members));
+    v.extend(check_majority(members));
+    v.extend(check_total_order_agreement(members));
+    v.extend(check_fifo(members));
+    v.extend(check_time_order(members));
+    v.extend(check_no_duplicate_deliveries(members));
     v
 }
 
@@ -51,8 +66,15 @@ pub fn assert_all(world: &World<SimMember>) {
     assert!(v.is_empty(), "protocol invariants violated: {v:#?}");
 }
 
-fn views_of(world: &World<SimMember>, p: ProcessId) -> impl Iterator<Item = &View> {
-    world.actor(p).views.iter().map(|(_, v)| v)
+/// Collect the per-process member logs of a finished simulation.
+pub fn members_of(world: &World<SimMember>) -> Vec<&SimMember> {
+    (0..world.len())
+        .map(|i| world.actor(ProcessId(i as u16)))
+        .collect()
+}
+
+fn views_of<'a>(members: &'a [&SimMember], p: ProcessId) -> impl Iterator<Item = &'a View> {
+    members[p.rank()].views.iter().map(|(_, v)| v)
 }
 
 /// Majority-agreement on views (paper §3): the protocol provides a
@@ -67,13 +89,13 @@ fn views_of(world: &World<SimMember>, p: ProcessId) -> impl Iterator<Item = &Vie
 /// Checked here: (a) views with the same id always have identical member
 /// sets, and (b) no two *different completed* views share a sequence
 /// number.
-pub fn check_view_agreement(world: &World<SimMember>) -> Vec<Violation> {
+pub fn check_view_agreement(members: &[&SimMember]) -> Vec<Violation> {
     let mut out = Vec::new();
     // (a) id ⇒ member set.
     let mut by_id: BTreeMap<tw_proto::ViewId, &View> = BTreeMap::new();
-    for i in 0..world.len() {
+    for i in 0..members.len() {
         let p = ProcessId(i as u16);
-        for v in views_of(world, p) {
+        for v in views_of(members, p) {
             match by_id.get(&v.id) {
                 Some(prev) if *prev != v => out.push(Violation(format!(
                     "view id {} has two member sets: {} vs {} (seen at {})",
@@ -86,8 +108,8 @@ pub fn check_view_agreement(world: &World<SimMember>) -> Vec<Violation> {
         }
     }
     // (b) at most one completed view per seq.
-    let installed_by: Vec<std::collections::BTreeSet<tw_proto::ViewId>> = (0..world.len())
-        .map(|i| views_of(world, ProcessId(i as u16)).map(|v| v.id).collect())
+    let installed_by: Vec<std::collections::BTreeSet<tw_proto::ViewId>> = (0..members.len())
+        .map(|i| views_of(members, ProcessId(i as u16)).map(|v| v.id).collect())
         .collect();
     let mut completed_by_seq: BTreeMap<u64, &View> = BTreeMap::new();
     for v in by_id.values() {
@@ -112,12 +134,12 @@ pub fn check_view_agreement(world: &World<SimMember>) -> Vec<Violation> {
 }
 
 /// Every installed view contains a majority of the team.
-pub fn check_majority(world: &World<SimMember>) -> Vec<Violation> {
-    let n = world.len();
+pub fn check_majority(members: &[&SimMember]) -> Vec<Violation> {
+    let n = members.len();
     let mut out = Vec::new();
     for i in 0..n {
         let p = ProcessId(i as u16);
-        for v in views_of(world, p) {
+        for v in views_of(members, p) {
             if !v.is_majority_of(n) {
                 out.push(Violation(format!(
                     "{} installed non-majority view {} (team {})",
@@ -132,17 +154,13 @@ pub fn check_majority(world: &World<SimMember>) -> Vec<Violation> {
 /// The set of *completed* view ids: views installed by every one of
 /// their members (the scope of the paper's majority-agreement
 /// guarantees).
-pub fn completed_view_ids(world: &World<SimMember>) -> std::collections::BTreeSet<tw_proto::ViewId> {
-    let installed_by: Vec<std::collections::BTreeSet<tw_proto::ViewId>> = (0..world.len())
-        .map(|i| {
-            views_of(world, ProcessId(i as u16))
-                .map(|v| v.id)
-                .collect()
-        })
+pub fn completed_view_ids(members: &[&SimMember]) -> std::collections::BTreeSet<tw_proto::ViewId> {
+    let installed_by: Vec<std::collections::BTreeSet<tw_proto::ViewId>> = (0..members.len())
+        .map(|i| views_of(members, ProcessId(i as u16)).map(|v| v.id).collect())
         .collect();
     let mut out = std::collections::BTreeSet::new();
-    for i in 0..world.len() {
-        for v in views_of(world, ProcessId(i as u16)) {
+    for i in 0..members.len() {
+        for v in views_of(members, ProcessId(i as u16)) {
             if v.members
                 .iter()
                 .all(|m| installed_by[m.rank()].contains(&v.id))
@@ -163,12 +181,12 @@ pub fn completed_view_ids(world: &World<SimMember>) -> std::collections::BTreeSe
 /// histories seen by the members of completed majority groups and other
 /// team members"); the application layer reconciles such members through
 /// the join-time state transfer.
-pub fn check_total_order_agreement(world: &World<SimMember>) -> Vec<Violation> {
-    let completed = completed_view_ids(world);
+pub fn check_total_order_agreement(members: &[&SimMember]) -> Vec<Violation> {
+    let completed = completed_view_ids(members);
     // Per member: view-id → ordered list of total deliveries in it.
-    let per_member: Vec<BTreeMap<tw_proto::ViewId, Vec<&Delivery>>> = (0..world.len())
-        .map(|i| {
-            let a = world.actor(ProcessId(i as u16));
+    let per_member: Vec<BTreeMap<tw_proto::ViewId, Vec<&Delivery>>> = members
+        .iter()
+        .map(|a| {
             let mut m: BTreeMap<tw_proto::ViewId, Vec<&Delivery>> = BTreeMap::new();
             for ((_, d), vid) in a.deliveries.iter().zip(&a.delivery_views) {
                 if d.semantics.ordering == Ordering::Total && completed.contains(vid) {
@@ -180,7 +198,7 @@ pub fn check_total_order_agreement(world: &World<SimMember>) -> Vec<Violation> {
         .collect();
     let mut out = Vec::new();
     for vid in &completed {
-        for a in 0..world.len() {
+        for a in 0..members.len() {
             let Some(da) = per_member[a].get(vid) else {
                 continue;
             };
@@ -209,8 +227,8 @@ pub fn check_total_order_agreement(world: &World<SimMember>) -> Vec<Violation> {
 /// Split a member's delivery log into continuous lives (a crash-recovery
 /// wipes volatile state; the fresh incarnation's log is a new life whose
 /// consistency is re-established by the join-time state transfer).
-fn lives_of(world: &World<SimMember>, p: ProcessId) -> Vec<Vec<&Delivery>> {
-    let a = world.actor(p);
+fn lives_of<'a>(members: &'a [&SimMember], p: ProcessId) -> Vec<Vec<&'a Delivery>> {
+    let a = members[p.rank()];
     let mut restarts: Vec<tw_proto::HwTime> = a
         .leaves
         .iter()
@@ -232,11 +250,11 @@ fn lives_of(world: &World<SimMember>, p: ProcessId) -> Vec<Vec<&Delivery>> {
 
 /// Each member delivers each proposer's updates in ascending seq order,
 /// within each of its continuous lives.
-pub fn check_fifo(world: &World<SimMember>) -> Vec<Violation> {
+pub fn check_fifo(members: &[&SimMember]) -> Vec<Violation> {
     let mut out = Vec::new();
-    for i in 0..world.len() {
+    for i in 0..members.len() {
         let p = ProcessId(i as u16);
-        for life in lives_of(world, p) {
+        for life in lives_of(members, p) {
             let mut last: BTreeMap<ProcessId, u64> = BTreeMap::new();
             for d in life {
                 if let Some(&prev) = last.get(&d.id.proposer) {
@@ -256,11 +274,11 @@ pub fn check_fifo(world: &World<SimMember>) -> Vec<Violation> {
 
 /// Time-ordered deliveries occur in non-decreasing send-timestamp order
 /// within each continuous life.
-pub fn check_time_order(world: &World<SimMember>) -> Vec<Violation> {
+pub fn check_time_order(members: &[&SimMember]) -> Vec<Violation> {
     let mut out = Vec::new();
-    for i in 0..world.len() {
+    for i in 0..members.len() {
         let p = ProcessId(i as u16);
-        for life in lives_of(world, p) {
+        for life in lives_of(members, p) {
             let mut last = None;
             for d in life {
                 if d.semantics.ordering != Ordering::Time {
@@ -285,11 +303,11 @@ pub fn check_time_order(world: &World<SimMember>) -> Vec<Violation> {
 /// (after a crash, the fresh incarnation's state is rebuilt from the
 /// transferred snapshot, so a re-delivery across lives is not a
 /// duplicate application).
-pub fn check_no_duplicate_deliveries(world: &World<SimMember>) -> Vec<Violation> {
+pub fn check_no_duplicate_deliveries(members: &[&SimMember]) -> Vec<Violation> {
     let mut out = Vec::new();
-    for i in 0..world.len() {
+    for i in 0..members.len() {
         let p = ProcessId(i as u16);
-        for life in lives_of(world, p) {
+        for life in lives_of(members, p) {
             let mut seen = std::collections::BTreeSet::new();
             for d in life {
                 if !seen.insert(d.id) {
@@ -313,6 +331,13 @@ mod tests {
         run_until_pred(&mut w, SimTime::from_secs(10), |w| all_in_group(w, 3)).unwrap();
         w.run_for(tw_proto::Duration::from_secs(5));
         assert_all(&w);
+    }
+
+    #[test]
+    fn world_and_member_slice_paths_agree() {
+        let mut w = team_world(&TeamParams::new(3));
+        run_until_pred(&mut w, SimTime::from_secs(10), |w| all_in_group(w, 3)).unwrap();
+        assert_eq!(check_all(&w), check_all_members(&members_of(&w)));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod config;
 pub mod delivery;
 pub mod detector;
 pub mod events;
+pub mod explore;
 pub mod harness;
 pub mod invariants;
 pub mod member;

@@ -230,7 +230,9 @@ impl Member {
         actions: &mut Vec<Action>,
     ) {
         debug_assert!(members.contains(&self.pid));
+        // tw-lint: allow(actor-io) -- TW_DEBUG-gated stderr trace; reads no protocol input, writes no protocol state
         if std::env::var("TW_DEBUG").is_ok() {
+            // tw-lint: allow(actor-io) -- same TW_DEBUG diagnostic block
             eprintln!(
                 "CREATE {} state={} oldview={} members={:?} suspect={:?}",
                 self.pid,

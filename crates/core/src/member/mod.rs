@@ -326,6 +326,21 @@ impl Member {
         self.clock.force_synced();
     }
 
+    /// Explorer/test support: a member born directly into `view` in
+    /// failure-free state with a force-synced clock, skipping the
+    /// join protocol. The schedule explorer uses this to study formed
+    /// groups under adversarial scheduling without spending its bounded
+    /// budgets on start-up.
+    #[doc(hidden)]
+    pub fn new_in_view(pid: ProcessId, cfg: Config, view: View) -> Member {
+        let mut m = Member::new_unchecked(pid, cfg);
+        let _ = m.on_start(HwTime::ZERO); // arm trackers; discard join traffic
+        m.force_clock_sync();
+        m.view = view;
+        m.state = CreatorState::FailureFree;
+        m
+    }
+
     /// Provide the application snapshot shipped to joiners.
     pub fn set_app_snapshot(&mut self, snapshot: Bytes) {
         self.app_snapshot = snapshot;

@@ -157,7 +157,9 @@ impl Member {
         for d in &nd.dpd {
             self.election_dpds.insert(d.id, *d);
         }
+        // tw-lint: allow(actor-io) -- TW_DEBUG-gated stderr trace; reads no protocol input, writes no protocol state
         if std::env::var("TW_DEBUG").is_ok() {
+            // tw-lint: allow(actor-io) -- same TW_DEBUG diagnostic block
             eprintln!(
                 "ND {} state={} suspect_mine={:?} nd.sender={} nd.suspect={} nd.ts={} now={} expected={:?} view={}",
                 self.pid, self.state.label(), self.suspect, nd.sender, nd.suspect,

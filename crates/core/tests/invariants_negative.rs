@@ -1,0 +1,239 @@
+//! Negative coverage for `timewheel::invariants`: fabricate deliberately
+//! corrupted member logs and prove each checker can actually fail.
+//!
+//! The checkers gate every integration test and every schedule the
+//! exhaustive explorer enumerates; a checker that silently accepts
+//! garbage would turn all of that into green noise. Each test here
+//! builds the *minimal* corrupted log for one invariant and asserts both
+//! the targeted checker and the `check_all_members` aggregate flag it.
+
+use bytes::Bytes;
+use timewheel::events::Delivery;
+use timewheel::harness::SimMember;
+use timewheel::invariants::{
+    check_all_members, check_fifo, check_majority, check_no_duplicate_deliveries,
+    check_time_order, check_total_order_agreement, check_view_agreement,
+};
+use timewheel::{Config, Member};
+use tw_proto::{
+    Duration, HwTime, Ordinal, ProcessId, ProposalId, Semantics, SyncTime, View, ViewId,
+};
+
+const N: usize = 3;
+
+fn blank(pid: u16) -> SimMember {
+    let cfg = Config::for_team(N, Duration::from_millis(10));
+    SimMember::new(Member::new_unchecked(ProcessId(pid), cfg))
+}
+
+fn delivery(proposer: u16, seq: u64, sem: Semantics, send_us: i64) -> Delivery {
+    Delivery {
+        id: ProposalId {
+            proposer: ProcessId(proposer),
+            seq,
+        },
+        ordinal: Some(Ordinal(seq)),
+        semantics: sem,
+        send_ts: SyncTime(send_us),
+        payload: Bytes::from_static(b"x"),
+    }
+}
+
+/// Install `view` on the member at local time `t_us` — keeps the views
+/// log and the delivery-view alignment the checkers expect.
+fn install(m: &mut SimMember, view: &View, t_us: i64) {
+    m.views.push((HwTime::from_micros(t_us), view.clone()));
+}
+
+fn deliver(m: &mut SimMember, d: Delivery, vid: ViewId, t_us: i64) {
+    m.deliveries.push((HwTime::from_micros(t_us), d));
+    m.delivery_views.push(vid);
+}
+
+/// A majority view over members 0..k of an N-process team.
+fn view(seq: u64, creator: u16, members: impl IntoIterator<Item = u16>) -> View {
+    View::new(
+        ViewId::new(seq, ProcessId(creator)),
+        members.into_iter().map(ProcessId),
+    )
+}
+
+fn refs(members: &[SimMember]) -> Vec<&SimMember> {
+    members.iter().collect()
+}
+
+#[test]
+fn clean_fabricated_log_passes() {
+    let v = view(1, 0, [0, 1, 2]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    for (i, m) in team.iter_mut().enumerate() {
+        install(m, &v, 100 + i as i64);
+        deliver(m, delivery(0, 1, Semantics::TOTAL_STRONG, 200), v.id, 300);
+        deliver(m, delivery(0, 2, Semantics::TOTAL_STRONG, 210), v.id, 310);
+    }
+    assert_eq!(check_all_members(&refs(&team)), Vec::new());
+}
+
+#[test]
+fn duplicate_delivery_is_flagged() {
+    let v = view(1, 0, [0, 1, 2]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    for m in team.iter_mut() {
+        install(m, &v, 100);
+    }
+    // p1 applies the same proposal twice within one life.
+    deliver(&mut team[1], delivery(0, 1, Semantics::TOTAL_STRONG, 200), v.id, 300);
+    deliver(&mut team[1], delivery(0, 1, Semantics::TOTAL_STRONG, 200), v.id, 310);
+
+    let viols = check_no_duplicate_deliveries(&refs(&team));
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert!(viols[0].0.contains("twice"), "{viols:?}");
+    assert!(!check_all_members(&refs(&team)).is_empty());
+}
+
+#[test]
+fn fifo_inversion_is_flagged() {
+    let v = view(1, 0, [0, 1, 2]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    for m in team.iter_mut() {
+        install(m, &v, 100);
+    }
+    // p2 delivers proposer 0's seq 2 before seq 1.
+    deliver(&mut team[2], delivery(0, 2, Semantics::UNORDERED_WEAK, 210), v.id, 300);
+    deliver(&mut team[2], delivery(0, 1, Semantics::UNORDERED_WEAK, 200), v.id, 310);
+
+    let viols = check_fifo(&refs(&team));
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert!(viols[0].0.contains("after seq"), "{viols:?}");
+    assert!(!check_all_members(&refs(&team)).is_empty());
+}
+
+#[test]
+fn two_completed_views_sharing_a_seq_are_flagged() {
+    // Two *different* majority groups both complete at seq 1: {0,1}
+    // created by p0, and {1,2} created by p2 (p1 schizophrenically joins
+    // both). A correct run can never produce this — two majorities of
+    // the same team intersect, and the intersection member's decider
+    // hands the seq to exactly one lineage.
+    let va = view(1, 0, [0, 1]);
+    let vb = view(1, 2, [1, 2]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    install(&mut team[0], &va, 100);
+    install(&mut team[1], &va, 100);
+    install(&mut team[1], &vb, 200);
+    install(&mut team[2], &vb, 200);
+
+    let viols = check_view_agreement(&refs(&team));
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert!(viols[0].0.contains("two completed majority groups"), "{viols:?}");
+    assert!(!check_all_members(&refs(&team)).is_empty());
+}
+
+#[test]
+fn same_view_id_with_diverging_member_sets_is_flagged() {
+    let mut va = view(1, 0, [0, 1]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    install(&mut team[0], &va, 100);
+    va.members.insert(ProcessId(2)); // p1 saw a different set under the same id
+    install(&mut team[1], &va, 100);
+
+    let viols = check_view_agreement(&refs(&team));
+    assert!(
+        viols.iter().any(|v| v.0.contains("two member sets")),
+        "{viols:?}"
+    );
+}
+
+#[test]
+fn minority_view_is_flagged() {
+    // A singleton view in a 3-process team: the paper's majority rule
+    // (|view| > n/2) exists precisely to forbid this split-brain shape.
+    let v = view(1, 0, [0]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    install(&mut team[0], &v, 100);
+
+    let viols = check_majority(&refs(&team));
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert!(viols[0].0.contains("non-majority"), "{viols:?}");
+    assert!(!check_all_members(&refs(&team)).is_empty());
+}
+
+#[test]
+fn total_order_disagreement_in_a_completed_view_is_flagged() {
+    let v = view(1, 0, [0, 1]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    install(&mut team[0], &v, 100);
+    install(&mut team[1], &v, 100);
+    let d1 = delivery(0, 1, Semantics::TOTAL_STRONG, 200);
+    let d2 = delivery(1, 1, Semantics::TOTAL_STRONG, 205);
+    deliver(&mut team[0], d1.clone(), v.id, 300);
+    deliver(&mut team[0], d2.clone(), v.id, 310);
+    deliver(&mut team[1], d2, v.id, 300);
+    deliver(&mut team[1], d1, v.id, 310);
+
+    let viols = check_total_order_agreement(&refs(&team));
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert!(viols[0].0.contains("total order disagreement"), "{viols:?}");
+    assert!(!check_all_members(&refs(&team)).is_empty());
+}
+
+#[test]
+fn total_order_divergence_outside_completed_views_is_not_flagged() {
+    // Same inversion, but the view never completes (p1 never installs
+    // it) — the paper scopes agreement to completed majority groups, so
+    // the checker must stay quiet.
+    let v = view(1, 0, [0, 1]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    install(&mut team[0], &v, 100); // p1 never installs v
+    let d1 = delivery(0, 1, Semantics::TOTAL_STRONG, 200);
+    let d2 = delivery(1, 1, Semantics::TOTAL_STRONG, 205);
+    deliver(&mut team[0], d1.clone(), v.id, 300);
+    deliver(&mut team[0], d2.clone(), v.id, 310);
+    deliver(&mut team[1], d2, v.id, 300);
+    deliver(&mut team[1], d1, v.id, 310);
+
+    assert_eq!(check_total_order_agreement(&refs(&team)), Vec::new());
+}
+
+#[test]
+fn time_order_inversion_is_flagged() {
+    let v = view(1, 0, [0, 1, 2]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    for m in team.iter_mut() {
+        install(m, &v, 100);
+    }
+    // p0 delivers a time-ordered update whose send timestamp precedes
+    // the previous one.
+    deliver(&mut team[0], delivery(1, 1, Semantics::TIME_STRICT, 500), v.id, 600);
+    deliver(&mut team[0], delivery(2, 1, Semantics::TIME_STRICT, 400), v.id, 610);
+
+    let viols = check_time_order(&refs(&team));
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert!(viols[0].0.contains("after ts"), "{viols:?}");
+    assert!(!check_all_members(&refs(&team)).is_empty());
+}
+
+#[test]
+fn duplicate_across_crash_lives_is_not_flagged() {
+    // A crash-recovery starts a new life; re-applying an update after
+    // the join-time state transfer is legal. The duplicate checker must
+    // scope itself to one continuous life.
+    let v = view(1, 0, [0, 1, 2]);
+    let mut team: Vec<SimMember> = (0..N as u16).map(blank).collect();
+    for m in team.iter_mut() {
+        install(m, &v, 100);
+    }
+    let m = &mut team[1];
+    m.leaves.push((
+        HwTime::from_micros(0),
+        timewheel::events::LeaveReason::Startup,
+    ));
+    deliver(m, delivery(0, 1, Semantics::TOTAL_STRONG, 200), v.id, 300);
+    m.leaves.push((
+        HwTime::from_micros(400),
+        timewheel::events::LeaveReason::Startup,
+    ));
+    deliver(m, delivery(0, 1, Semantics::TOTAL_STRONG, 200), v.id, 500);
+
+    assert_eq!(check_no_duplicate_deliveries(&refs(&team)), Vec::new());
+}

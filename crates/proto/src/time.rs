@@ -14,6 +14,9 @@
 //! Both are microsecond counts in `i64`, which covers ±292 000 years —
 //! plenty for simulation and deployment alike.
 
+// tw-lint: allow-file(float-state) -- f64 appears only in as_*_f64 display/metrics
+// conversions; all protocol arithmetic stays in integral microseconds.
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};

@@ -7,6 +7,10 @@
 //! Clocks have crash failure semantics: they are correct until the process
 //! crashes.
 
+// tw-lint: allow-file(float-state) -- the drift *rate* is part of the simulated
+// environment, not protocol state; readings are rounded to integral micros and
+// the same seed reproduces them bit-for-bit on any platform with IEEE-754 f64.
+
 use crate::time::SimTime;
 use tw_proto::{Duration, HwTime};
 

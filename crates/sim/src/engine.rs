@@ -16,7 +16,7 @@ use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use tw_proto::{Duration, HwTime, Msg, ProcessId};
 
 /// Message payloads the engine can account for.
@@ -140,9 +140,30 @@ impl<'a, M> Ctx<'a, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Crate-internal constructor so sibling drivers (the [`World`] event
+    /// loop and the [`crate::explore`] schedule explorer) can invoke
+    /// actors through the same effect interface.
+    pub(crate) fn internal(
+        pid: ProcessId,
+        n: usize,
+        now_hw: HwTime,
+        next_timer_id: &'a mut u64,
+        effects: &'a mut Vec<Effect<M>>,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        Ctx {
+            pid,
+            n,
+            now_hw,
+            next_timer_id,
+            effects,
+            rng,
+        }
+    }
 }
 
-enum Effect<M> {
+pub(crate) enum Effect<M> {
     Send {
         to: ProcessId,
         msg: M,
@@ -225,7 +246,10 @@ struct Process<A> {
     status: ProcessStatus,
     clock: HardwareClock,
     epoch: u32,
-    cancelled: HashSet<TimerId>,
+    // Ordered set: the engine promises bit-for-bit determinism, so even
+    // bookkeeping containers stay iteration-order-stable (tw-lint's
+    // hash-container rule enforces this workspace-wide).
+    cancelled: BTreeSet<TimerId>,
 }
 
 /// Static world parameters.
@@ -299,7 +323,7 @@ impl<A: Actor> World<A> {
             status: ProcessStatus::Up,
             clock: HardwareClock::new(clock),
             epoch: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
         });
         self.push_event(SimTime::ZERO, EventKind::Start(pid));
         pid
@@ -564,9 +588,11 @@ impl<A: Actor> World<A> {
                     let proc = &self.procs[pid.rank()];
                     let mut real = proc.clock.hw_to_real(after_hw);
                     if self.cfg.sched_jitter > Duration::ZERO {
+                        // tw-lint: allow(float-state) -- seeded-RNG jitter draw, rounded to integral micros before queueing
                         let j: f64 = self.rng.gen();
-                        real +=
-                            Duration((self.cfg.sched_jitter.as_micros() as f64 * j).round() as i64);
+                        // tw-lint: allow(float-state) -- same jitter computation
+                        let jitter = self.cfg.sched_jitter.as_micros() as f64 * j;
+                        real += Duration(jitter.round() as i64);
                     }
                     let epoch = proc.epoch;
                     let at = self.now + real.max(Duration::ZERO);

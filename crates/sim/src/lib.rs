@@ -30,6 +30,7 @@
 
 pub mod clock;
 pub mod engine;
+pub mod explore;
 pub mod fault;
 pub mod link;
 pub mod stats;

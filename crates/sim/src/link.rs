@@ -8,6 +8,10 @@
 //! decision from p, delay one message past δ, …) are handled by
 //! [`crate::fault`]; this module is the background behaviour.
 
+// tw-lint: allow-file(float-state) -- loss/latency probabilities describe the
+// simulated network, not protocol state; draws come from the seeded world RNG
+// and delays are rounded to integral micros before entering the event queue.
+
 use rand::Rng;
 use tw_proto::Duration;
 

@@ -7,6 +7,9 @@
 //! latencies in `SimTime`, which is exactly the observer's stopwatch the
 //! paper's timed specification is phrased in.
 
+// tw-lint: allow-file(float-state) -- f64 only in the as_secs_f64 stats/plot
+// conversion; event ordering and arithmetic are integral microseconds.
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};

@@ -1,0 +1,21 @@
+//! Repo automation for the timewheel workspace.
+//!
+//! Two jobs, both about the same property — the simulator's determinism
+//! guarantee is only as strong as the discipline of the code inside it:
+//!
+//! * [`lint`] — a static vocabulary pass that *forbids* the
+//!   nondeterminism vectors (wall clocks, ambient randomness,
+//!   hash-iteration order, floats in protocol state, direct I/O) in the
+//!   protocol crates; and
+//! * `explore` (a thin driver in `main.rs`) — the *dynamic* complement:
+//!   exhaustively runs every small-scope schedule through the real
+//!   protocol and checks the paper's invariants at each terminal state
+//!   (see `tw_sim::explore` and the `explore` bin in `timewheel`).
+//!
+//! Invoked via the `cargo xtask` alias (see `.cargo/config.toml`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lint;

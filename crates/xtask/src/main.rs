@@ -1,0 +1,78 @@
+//! `cargo xtask` — repo automation entry point.
+
+use std::process::ExitCode;
+use xtask::lint;
+
+const USAGE: &str = "\
+cargo xtask <command>
+
+Commands:
+  lint              run the determinism lint over the protocol crates
+                    (tw-proto, timewheel, tw-clock, tw-sim); exit 1 on findings
+  explore [args..]  build and run the exhaustive schedule explorer
+                    (forwards args to `cargo run --release -p timewheel --bin explore`)
+  help              show this message
+
+Lint escape hatch: `// tw-lint: allow(<rule>) -- <justification>` on the
+line of (or above) a finding; `allow-file(<rule>)` for a whole file.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("explore") => run_explore(&args[1..]),
+        Some("help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = lint::repo_root();
+    match lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "tw-lint: clean ({} rules over {})",
+                lint::RULES.len(),
+                lint::SCOPED_DIRS.join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("\ntw-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("tw-lint: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_explore(args: &[String]) -> ExitCode {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(lint::repo_root())
+        .args(["run", "--release", "-p", "timewheel", "--bin", "explore", "--"])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask explore: failed to spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Offline verification harness for the protocol crates.
+#
+# The dev container has no crates.io access, so the real workspace (which
+# pulls rand/bytes/serde/... from the registry) cannot build there. This
+# script copies the four pure protocol crates into tools/shadow/build/,
+# rewrites their manifests against the API-compatible stub crates in
+# tools/shadow/stubs/, and runs `cargo check` + the crates' unit tests
+# fully offline. CI and any networked checkout still use the real
+# dependencies; nothing under tools/shadow participates in the real build.
+#
+# Usage: tools/shadow/check.sh [extra cargo test args]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/../.." && pwd)"
+build="$repo/tools/shadow/build"
+stubs="../../stubs" # relative to each copied crate
+
+rm -rf "$build"
+mkdir -p "$build"
+
+copy_crate() {
+  local name="$1"
+  mkdir -p "$build/$name"
+  cp -r "$repo/crates/$name/src" "$build/$name/src"
+  # Integration tests ride along except the proptest-based ones (proptest
+  # cannot be stubbed meaningfully).
+  if [ -d "$repo/crates/$name/tests" ]; then
+    mkdir -p "$build/$name/tests"
+    find "$repo/crates/$name/tests" -maxdepth 1 -name '*.rs' ! -name 'prop_*.rs' \
+      -exec cp {} "$build/$name/tests/" \;
+  fi
+}
+
+copy_crate proto
+copy_crate clock
+copy_crate sim
+copy_crate core
+copy_crate xtask
+
+cat > "$build/xtask/Cargo.toml" <<EOF
+[package]
+name = "xtask"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+
+[lib]
+path = "src/lib.rs"
+
+[[bin]]
+name = "xtask"
+path = "src/main.rs"
+EOF
+
+cat > "$build/proto/Cargo.toml" <<EOF
+[package]
+name = "tw-proto"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+bytes = { path = "$stubs/bytes" }
+serde = { path = "$stubs/serde", features = ["derive"] }
+EOF
+
+cat > "$build/clock/Cargo.toml" <<EOF
+[package]
+name = "tw-clock"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+tw-proto = { path = "../proto" }
+serde = { path = "$stubs/serde", features = ["derive"] }
+EOF
+
+cat > "$build/sim/Cargo.toml" <<EOF
+[package]
+name = "tw-sim"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+tw-proto = { path = "../proto" }
+rand = { path = "$stubs/rand" }
+serde = { path = "$stubs/serde", features = ["derive"] }
+EOF
+
+cat > "$build/core/Cargo.toml" <<EOF
+[package]
+name = "timewheel"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+tw-proto = { path = "../proto" }
+tw-clock = { path = "../clock" }
+tw-sim = { path = "../sim" }
+bytes = { path = "$stubs/bytes" }
+serde = { path = "$stubs/serde", features = ["derive"] }
+rand = { path = "$stubs/rand" }
+EOF
+
+cat > "$build/Cargo.toml" <<EOF
+[workspace]
+resolver = "2"
+members = ["proto", "clock", "sim", "core", "xtask"]
+EOF
+
+cd "$build"
+# The shadow copy lives outside the repo layout, so point the lint (and
+# its workspace-lints-clean test) back at the real sources.
+export TW_XTASK_ROOT="$repo"
+cargo check --offline --workspace --all-targets
+cargo test --offline --workspace "$@"

@@ -1,0 +1,16 @@
+//! Offline stub of `serde_derive`: the derives expand to nothing, which
+//! is enough to typecheck crates that derive but never *call* serde
+//! (serialization is only exercised by the bench/root crates, which the
+//! shadow check excludes).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
