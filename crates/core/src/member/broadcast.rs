@@ -39,6 +39,7 @@ impl Member {
         payload: Bytes,
         semantics: Semantics,
     ) -> Result<Vec<Action>, ProposeError> {
+        self.trace_hw = now_hw;
         let now = self.clock.read(now_hw).ok_or(ProposeError::NotSynced)?;
         if self.view.is_empty() || !self.view.contains(self.pid) {
             return Err(ProposeError::NotMember);
@@ -97,6 +98,16 @@ impl Member {
                 self.dpd_descs.insert(id, p.desc());
             }
             self.delivered_count += 1;
+            let (semantics, send_ts, view) = (p.semantics, p.send_ts, self.view.id);
+            self.trace(now, |at| tw_obs::TraceEvent::Delivered {
+                pid: self.pid,
+                at,
+                id,
+                ordinal,
+                semantics,
+                send_ts,
+                view,
+            });
             actions.push(Action::Deliver(crate::events::Delivery {
                 id,
                 ordinal,

@@ -11,9 +11,20 @@ use super::{CreatorState, Member};
 use crate::events::{Action, LeaveReason};
 use crate::undeliverable;
 use std::collections::BTreeSet;
+use tw_obs::TraceEvent;
 use tw_proto::{
-    Decision, Descriptor, DescriptorBody, Msg, Oal, ProcessId, SyncTime, UpdateDesc, View, ViewId,
+    AckBits, Decision, Descriptor, DescriptorBody, Msg, Oal, ProcessId, SyncTime, UpdateDesc,
+    View, ViewId,
 };
+
+/// The view's member set as a bitset (for allocation-free trace events).
+fn member_bits(view: &View) -> AckBits {
+    let mut bits = AckBits::EMPTY;
+    for p in &view.members {
+        bits.set(*p);
+    }
+    bits
+}
 
 impl Member {
     /// Sequence number for a view created now: strictly above everything
@@ -71,6 +82,14 @@ impl Member {
         d: Decision,
         actions: &mut Vec<Action>,
     ) {
+        let (from, send_ts, dview) = (d.sender, d.send_ts, d.view.id);
+        self.trace(now, |at| TraceEvent::DecisionReceived {
+            pid: self.pid,
+            at,
+            from,
+            send_ts,
+            view: dview,
+        });
         if d.view.id.seq > self.view.id.seq {
             if !d.view.contains(self.pid) {
                 // A new group without me: I am out (paper §4.2
@@ -80,6 +99,7 @@ impl Member {
             }
             self.view = d.view.clone();
             self.views_installed += 1;
+            self.trace_view_installed(now);
             actions.push(Action::InstallView(self.view.clone()));
         }
         self.adopt_decision_payload(&d);
@@ -93,6 +113,17 @@ impl Member {
             // I am the next decider; relinquish within D.
             self.decider_due = Some(now + self.cfg.decider_interval);
         }
+    }
+
+    /// Emit the `ViewInstalled` trace event for the freshly adopted view.
+    pub(crate) fn trace_view_installed(&self, now: SyncTime) {
+        let (view, members) = (self.view.id, member_bits(&self.view));
+        self.trace(now, |at| TraceEvent::ViewInstalled {
+            pid: self.pid,
+            at,
+            view,
+            members,
+        });
     }
 
     /// Adopt the oal carried by a decision: merge, learn ordinals, purge
@@ -163,6 +194,7 @@ impl Member {
                 .append(Descriptor::membership(new_view.clone(), self.pid));
             self.view = new_view;
             self.views_installed += 1;
+            self.trace_view_installed(now);
             actions.push(Action::InstallView(self.view.clone()));
             actions.push(Action::Send(
                 joiner,
@@ -183,6 +215,13 @@ impl Member {
         // Prune the stable prefix (decider-side garbage collection).
         self.oal.prune_stable(&self.view);
         let send_ts = self.stamp(now);
+        let view = self.view.id;
+        self.trace(now, |at| TraceEvent::DecisionSent {
+            pid: self.pid,
+            at,
+            send_ts,
+            view,
+        });
         let d = Decision {
             sender: self.pid,
             send_ts,
@@ -230,18 +269,6 @@ impl Member {
         actions: &mut Vec<Action>,
     ) {
         debug_assert!(members.contains(&self.pid));
-        // tw-lint: allow(actor-io) -- TW_DEBUG-gated stderr trace; reads no protocol input, writes no protocol state
-        if std::env::var("TW_DEBUG").is_ok() {
-            // tw-lint: allow(actor-io) -- same TW_DEBUG diagnostic block
-            eprintln!(
-                "CREATE {} state={} oldview={} members={:?} suspect={:?}",
-                self.pid,
-                self.state.label(),
-                self.view,
-                members.iter().map(|p| p.0).collect::<Vec<_>>(),
-                self.suspect
-            );
-        }
         let departed: BTreeSet<ProcessId> = self
             .view
             .members
@@ -265,6 +292,11 @@ impl Member {
         for id in report.all_ids() {
             self.buf.purge(id);
         }
+        let (lost, orphaned, unknown) = (
+            report.lost.len() as u32,
+            (report.orphan_order.len() + report.orphan_atomicity.len()) as u32,
+            report.unknown_dependency.len() as u32,
+        );
         self.last_purge = Some(report);
         // Append updates delivered by some member but never ordered.
         let mut all_dpds = dpds;
@@ -277,6 +309,16 @@ impl Member {
 
         self.view = new_view;
         self.views_installed += 1;
+        self.trace_view_installed(now);
+        let view = self.view.id;
+        self.trace(now, |at| TraceEvent::Purged {
+            pid: self.pid,
+            at,
+            view,
+            lost,
+            orphaned,
+            unknown,
+        });
         actions.push(Action::InstallView(self.view.clone()));
         self.state = CreatorState::FailureFree;
         self.suspect = None;

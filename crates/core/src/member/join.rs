@@ -144,6 +144,7 @@ impl Member {
         }
         self.view = d.view.clone();
         self.views_installed += 1;
+        self.trace_view_installed(now);
         actions.push(Action::InstallView(self.view.clone()));
         // Fresh oal adoption: our copy is empty or stale. (Ordinals from
         // a previous membership were voided on leaving; assignments

@@ -39,6 +39,7 @@ use crate::undeliverable::PurgeReport;
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use tw_clock::{ClockAction, ClockEvent, FailAwareClock};
+use tw_obs::{ClockStamp, TraceEvent, Tracer};
 use tw_proto::{
     AliveList, HwTime, Incarnation, Msg, Oal, ProcessId, ProposalId, SyncTime, UpdateDesc, View,
     ViewId,
@@ -165,6 +166,11 @@ pub struct Member {
     pub(crate) views_installed: u64,
     /// The last §4.3 purge performed by this member as a new decider.
     pub(crate) last_purge: Option<PurgeReport>,
+    /// Structured trace sink (disabled unless a host attaches one).
+    pub(crate) tracer: Tracer,
+    /// Hardware time of the entry point currently executing; pairs with
+    /// the synchronized time to stamp emitted trace events.
+    pub(crate) trace_hw: HwTime,
 }
 
 impl Member {
@@ -211,7 +217,26 @@ impl Member {
             delivered_count: 0,
             views_installed: 0,
             last_purge: None,
+            tracer: Tracer::disabled(),
+            trace_hw: HwTime::ZERO,
         }
+    }
+
+    /// Attach a structured trace sink. Cloned members (e.g. forked
+    /// simulator worlds) share the same sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Emit a trace event stamped with the entry point's hardware time
+    /// and the given synchronized time. The closure only runs when a
+    /// sink is attached.
+    pub(crate) fn trace(&self, now: SyncTime, make: impl FnOnce(ClockStamp) -> TraceEvent) {
+        let at = ClockStamp {
+            hw: self.trace_hw,
+            sync: now,
+        };
+        self.tracer.emit(|| make(at));
     }
 
     // ---- accessors ------------------------------------------------------
@@ -366,6 +391,7 @@ impl Member {
 
     /// Start at process creation.
     pub fn on_start(&mut self, now_hw: HwTime) -> Vec<Action> {
+        self.trace_hw = now_hw;
         let mut actions = Vec::new();
         self.reset_protocol_state();
         for a in self.clock.on_start(now_hw) {
@@ -379,6 +405,7 @@ impl Member {
 
     /// Recover after a crash: new incarnation, all volatile state gone.
     pub fn on_recover(&mut self, now_hw: HwTime) -> Vec<Action> {
+        self.trace_hw = now_hw;
         self.incarnation = self.incarnation.next();
         // Proposal ids must stay unique across incarnations even though
         // the sequence counter is volatile: restart the counter in a
@@ -421,6 +448,7 @@ impl Member {
 
     /// The clock-synchronization resync tick.
     pub fn on_clock_tick(&mut self, now_hw: HwTime) -> Vec<Action> {
+        self.trace_hw = now_hw;
         self.clock
             .handle(now_hw, ClockEvent::Tick)
             .into_iter()
@@ -430,6 +458,7 @@ impl Member {
 
     /// The periodic protocol tick: evaluates every deadline predicate.
     pub fn on_tick(&mut self, now_hw: HwTime) -> Vec<Action> {
+        self.trace_hw = now_hw;
         let mut actions = Vec::new();
         let Some(now) = self.clock.read(now_hw) else {
             // Fail-awareness: we know we are not synchronized. A member
@@ -465,6 +494,7 @@ impl Member {
 
     /// A datagram arrived.
     pub fn on_message(&mut self, now_hw: HwTime, from: ProcessId, msg: Msg) -> Vec<Action> {
+        self.trace_hw = now_hw;
         let mut actions = Vec::new();
         if from == self.pid {
             return actions; // own broadcast echo (possible on UDP runtimes)

@@ -88,6 +88,14 @@ impl Member {
             self.my_reconfig_set(now).into_iter().collect()
         };
         let send_ts = self.stamp(now);
+        let (slot, listed) = (self.cfg.slot_index(now), list.len() as u32);
+        self.trace(now, |at| tw_obs::TraceEvent::ReconfigSlotFired {
+            pid: self.pid,
+            at,
+            slot,
+            listed,
+            empty,
+        });
         let r = Reconfig {
             sender: self.pid,
             send_ts,

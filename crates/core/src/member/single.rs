@@ -14,6 +14,7 @@
 
 use super::{CreatorState, Member};
 use crate::events::Action;
+use tw_obs::TraceEvent;
 use tw_proto::{DescriptorBody, Msg, NoDecision, ProcessId, SyncTime};
 
 impl Member {
@@ -72,6 +73,13 @@ impl Member {
         suspect: ProcessId,
         actions: &mut Vec<Action>,
     ) {
+        let view = self.view.id;
+        self.trace(now, |at| TraceEvent::SuspicionRaised {
+            pid: self.pid,
+            at,
+            suspect,
+            view,
+        });
         if !self.may_participate_in_election(now) {
             self.enter_nfailure(now, actions);
             return;
@@ -119,6 +127,14 @@ impl Member {
             self.buf.mark_local(id, until);
         }
         let send_ts = self.stamp(now);
+        let view = self.view.id;
+        self.trace(now, |at| TraceEvent::NoDecisionHop {
+            pid: self.pid,
+            at,
+            suspect,
+            send_ts,
+            view,
+        });
         let nd = NoDecision {
             sender: self.pid,
             send_ts,
@@ -157,15 +173,6 @@ impl Member {
         for d in &nd.dpd {
             self.election_dpds.insert(d.id, *d);
         }
-        // tw-lint: allow(actor-io) -- TW_DEBUG-gated stderr trace; reads no protocol input, writes no protocol state
-        if std::env::var("TW_DEBUG").is_ok() {
-            // tw-lint: allow(actor-io) -- same TW_DEBUG diagnostic block
-            eprintln!(
-                "ND {} state={} suspect_mine={:?} nd.sender={} nd.suspect={} nd.ts={} now={} expected={:?} view={}",
-                self.pid, self.state.label(), self.suspect, nd.sender, nd.suspect,
-                nd.send_ts.0, now.0, self.watchdog.expected(), self.view.id
-            );
-        }
         match self.state {
             CreatorState::FailureFree => self.nd_in_failure_free(now, nd, actions),
             CreatorState::OneFailureReceive => self.nd_in_one_failure_receive(now, nd, actions),
@@ -191,6 +198,13 @@ impl Member {
                 // I hold the missed decision — rescue immediately.
                 self.state = CreatorState::FailureFree;
                 self.suspect = None;
+                let (suspect, view) = (nd.suspect, self.view.id);
+                self.trace(now, |at| TraceEvent::WrongSuspicionRescue {
+                    pid: self.pid,
+                    at,
+                    suspect,
+                    view,
+                });
                 self.emit_decision(now, actions);
             } else {
                 self.enter_single_failure(CreatorState::WrongSuspicion, nd.suspect);
@@ -203,6 +217,13 @@ impl Member {
             }
             // Someone else noticed the silence before my tick did; concur.
             let suspect = nd.suspect;
+            let view = self.view.id;
+            self.trace(now, |at| TraceEvent::SuspicionRaised {
+                pid: self.pid,
+                at,
+                suspect,
+                view,
+            });
             self.election_oals.push(nd.oal_view);
             if self.ring_succ(suspect, nd.sender) == self.pid {
                 self.send_no_decision(now, suspect, actions);
@@ -296,6 +317,13 @@ impl Member {
             self.suspect = None;
             self.election_oals.clear();
             self.election_dpds.clear();
+            let view = self.view.id;
+            self.trace(now, |at| TraceEvent::WrongSuspicionRescue {
+                pid: self.pid,
+                at,
+                suspect,
+                view,
+            });
             self.emit_decision(now, actions);
         } else {
             self.arm_ring(suspect, nd.sender, nd.send_ts);

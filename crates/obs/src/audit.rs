@@ -1,0 +1,377 @@
+//! Live invariant auditor over merged trace streams.
+//!
+//! The deterministic simulator checks the protocol's invariants offline
+//! (`timewheel::invariants` walks complete delivery logs after a run).
+//! A real cluster has no such log — but it *does* have the trace stream.
+//! The [`Auditor`] tails the merged [`TraceEvent`] streams of all members
+//! and re-checks the same family of claims **incrementally**, as events
+//! arrive:
+//!
+//! * **No duplicate delivery** — a member never delivers the same
+//!   proposal twice.
+//! * **FIFO per proposer** — a member delivers a proposer's updates in
+//!   ascending proposal-sequence order.
+//! * **Time order** — time-ordered deliveries at one member carry
+//!   non-decreasing synchronized send timestamps.
+//! * **Total order** — two members never bind the same `(view, ordinal)`
+//!   to different proposals, and ordinals at one member grow strictly
+//!   within a view (prefix property).
+//! * **Majority views** — every installed view contains a strict
+//!   majority of the team (§3: only majority groups may form).
+//! * **View agreement** — members installing the same view id agree on
+//!   its membership, and at most one majority group completes per view
+//!   sequence number.
+//!
+//! Scope: the auditor assumes one incarnation per member within the
+//! audited window (recovery resets proposal sequence numbers, which
+//! would trip the FIFO check). Soak tests that crash/recover members
+//! should start a fresh auditor per epoch.
+//!
+//! Violations accumulate; they are never dropped. [`SharedAuditor`]
+//! wraps the auditor for use as a live [`TraceSink`] behind the tracer
+//! of every node in a cluster.
+
+use crate::trace::{TraceEvent, TraceSink};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use tw_proto::{AckBits, Ordinal, ProcessId, ProposalId, SyncTime, ViewId};
+
+/// A single invariant violation, rendered as a human-readable sentence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Incremental invariant checker over a merged trace stream.
+#[derive(Debug)]
+pub struct Auditor {
+    team: usize,
+    /// Proposals each member has delivered (duplicate detection).
+    seen: BTreeMap<ProcessId, BTreeSet<ProposalId>>,
+    /// Per observer, per proposer: highest delivered proposal seq.
+    fifo: BTreeMap<ProcessId, BTreeMap<ProcessId, u64>>,
+    /// Per observer: send timestamp of the last time-ordered delivery.
+    time_order: BTreeMap<ProcessId, SyncTime>,
+    /// Membership each view id was first installed with (agreement).
+    installed: BTreeMap<ViewId, AckBits>,
+    /// The view id that completed at each view sequence number.
+    completed_by_seq: BTreeMap<u64, ViewId>,
+    /// Global binding of `(view, ordinal)` to a proposal (total order).
+    order: BTreeMap<(ViewId, Ordinal), ProposalId>,
+    /// Per observer, per view: last delivered ordinal (prefix property).
+    last_ordinal: BTreeMap<(ProcessId, ViewId), Ordinal>,
+    violations: Vec<Violation>,
+}
+
+impl Auditor {
+    /// New auditor for a team of `team` members.
+    pub fn new(team: usize) -> Self {
+        Auditor {
+            team,
+            seen: BTreeMap::new(),
+            fifo: BTreeMap::new(),
+            time_order: BTreeMap::new(),
+            installed: BTreeMap::new(),
+            completed_by_seq: BTreeMap::new(),
+            order: BTreeMap::new(),
+            last_ordinal: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn flag(&mut self, msg: String) {
+        self.violations.push(Violation(msg));
+    }
+
+    /// Feed one trace event into the checker.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Delivered {
+                pid,
+                id,
+                ordinal,
+                semantics,
+                send_ts,
+                view,
+                ..
+            } => self.on_delivered(pid, id, ordinal, semantics, send_ts, view),
+            TraceEvent::ViewInstalled {
+                pid, view, members, ..
+            } => self.on_view_installed(pid, view, members),
+            _ => {}
+        }
+    }
+
+    fn on_delivered(
+        &mut self,
+        pid: ProcessId,
+        id: ProposalId,
+        ordinal: Option<Ordinal>,
+        semantics: tw_proto::Semantics,
+        send_ts: SyncTime,
+        view: ViewId,
+    ) {
+        if !self.seen.entry(pid).or_default().insert(id) {
+            self.flag(format!("{pid} delivered {id} twice"));
+        }
+
+        let slot = self
+            .fifo
+            .entry(pid)
+            .or_default()
+            .entry(id.proposer)
+            .or_insert(0);
+        let prev_seq = *slot;
+        if id.seq > prev_seq {
+            *slot = id.seq;
+        }
+        if id.seq <= prev_seq {
+            self.flag(format!(
+                "{pid} violated FIFO: delivered {id} after seq {prev_seq} from {}",
+                id.proposer
+            ));
+        }
+
+        if semantics.ordering == tw_proto::Ordering::Time {
+            let prev = self.time_order.get(&pid).copied();
+            if let Some(prev) = prev {
+                if send_ts < prev {
+                    self.flag(format!(
+                        "{pid} delivered time-ordered {id} (send_ts {send_ts:?}) after {prev:?}"
+                    ));
+                }
+            }
+            let e = self.time_order.entry(pid).or_insert(send_ts);
+            if send_ts > *e {
+                *e = send_ts;
+            }
+        }
+
+        if semantics.ordering == tw_proto::Ordering::Total {
+            match ordinal {
+                None => self.flag(format!(
+                    "{pid} delivered total-ordered {id} without an ordinal"
+                )),
+                Some(ord) => {
+                    let bound = *self.order.entry((view, ord)).or_insert(id);
+                    if bound != id {
+                        self.flag(format!(
+                            "total order disagreement at {view:?} ordinal {ord:?}: {bound} vs {id}"
+                        ));
+                    }
+                    let prev = self.last_ordinal.get(&(pid, view)).copied();
+                    if let Some(prev) = prev {
+                        if ord <= prev {
+                            self.flag(format!(
+                                "{pid} delivered ordinal {ord:?} after {prev:?} in {view:?}"
+                            ));
+                        }
+                    }
+                    let e = self.last_ordinal.entry((pid, view)).or_insert(ord);
+                    if ord > *e {
+                        *e = ord;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_view_installed(&mut self, pid: ProcessId, view: ViewId, members: AckBits) {
+        if members.count() * 2 <= self.team {
+            self.flag(format!(
+                "{pid} installed non-majority view {view:?} ({} of {})",
+                members.count(),
+                self.team
+            ));
+        }
+        match self.installed.get(&view).copied() {
+            None => {
+                self.installed.insert(view, members);
+                let other = self.completed_by_seq.get(&view.seq).copied();
+                match other {
+                    Some(other) if other != view => {
+                        self.flag(format!(
+                            "two completed majority groups at seq {}: {other:?} and {view:?}",
+                            view.seq
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.completed_by_seq.insert(view.seq, view);
+                    }
+                }
+            }
+            Some(first) if first != members => {
+                self.flag(format!(
+                    "view agreement broken for {view:?}: {pid} installed members {members:?}, first installer saw {first:?}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// All violations recorded so far, in observation order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no invariant has been violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with a readable report if any invariant was violated.
+    pub fn assert_clean(&self) {
+        if !self.ok() {
+            let mut report = String::from("invariant auditor found violations:\n");
+            for v in &self.violations {
+                report.push_str("  - ");
+                report.push_str(&v.0);
+                report.push('\n');
+            }
+            panic!("{report}");
+        }
+    }
+}
+
+/// A thread-safe handle to an [`Auditor`], usable as a live [`TraceSink`].
+///
+/// Clone one handle into the tracer of every node; events from all
+/// members funnel into a single checker.
+#[derive(Debug, Clone)]
+pub struct SharedAuditor(Arc<Mutex<Auditor>>);
+
+impl SharedAuditor {
+    /// New shared auditor for a team of `team` members.
+    pub fn new(team: usize) -> Self {
+        SharedAuditor(Arc::new(Mutex::new(Auditor::new(team))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Auditor> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshot of all violations recorded so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.lock().violations().to_vec()
+    }
+
+    /// True when no invariant has been violated.
+    pub fn ok(&self) -> bool {
+        self.lock().ok()
+    }
+
+    /// Panic with a readable report if any invariant was violated.
+    pub fn assert_clean(&self) {
+        self.lock().assert_clean();
+    }
+}
+
+impl TraceSink for SharedAuditor {
+    fn record(&self, ev: &TraceEvent) {
+        self.lock().observe(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ClockStamp;
+    use tw_proto::Semantics;
+
+    fn delivered(pid: u16, proposer: u16, seq: u64) -> TraceEvent {
+        TraceEvent::Delivered {
+            pid: ProcessId(pid),
+            at: ClockStamp::default(),
+            id: ProposalId::new(ProcessId(proposer), seq),
+            ordinal: None,
+            semantics: Semantics::UNORDERED_WEAK,
+            send_ts: SyncTime(0),
+            view: ViewId::new(1, ProcessId(0)),
+        }
+    }
+
+    #[test]
+    fn clean_stream_stays_clean() {
+        let mut a = Auditor::new(5);
+        let view = ViewId::new(1, ProcessId(0));
+        for p in 0..5u16 {
+            a.observe(&TraceEvent::ViewInstalled {
+                pid: ProcessId(p),
+                at: ClockStamp::default(),
+                view,
+                members: AckBits(0b1_1111),
+            });
+        }
+        for p in 0..5u16 {
+            for seq in 1..=3 {
+                a.observe(&delivered(p, 2, seq));
+            }
+        }
+        assert!(a.ok(), "unexpected: {:?}", a.violations());
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let mut a = Auditor::new(3);
+        a.observe(&delivered(0, 1, 1));
+        a.observe(&delivered(0, 1, 1));
+        assert_eq!(a.violations().len(), 2); // duplicate + FIFO regression
+        assert!(a.violations()[0].0.contains("twice"));
+    }
+
+    #[test]
+    fn fifo_regression_is_flagged() {
+        let mut a = Auditor::new(3);
+        a.observe(&delivered(0, 1, 2));
+        a.observe(&delivered(0, 1, 1));
+        assert!(a.violations().iter().any(|v| v.0.contains("FIFO")));
+    }
+
+    #[test]
+    fn minority_view_is_flagged() {
+        let mut a = Auditor::new(5);
+        a.observe(&TraceEvent::ViewInstalled {
+            pid: ProcessId(0),
+            at: ClockStamp::default(),
+            view: ViewId::new(2, ProcessId(0)),
+            members: AckBits(0b11),
+        });
+        assert!(a.violations()[0].0.contains("non-majority"));
+    }
+
+    #[test]
+    fn total_order_conflict_is_flagged() {
+        let mut a = Auditor::new(3);
+        let view = ViewId::new(1, ProcessId(0));
+        let mk = |pid: u16, proposer: u16, seq: u64, ord: u64| TraceEvent::Delivered {
+            pid: ProcessId(pid),
+            at: ClockStamp::default(),
+            id: ProposalId::new(ProcessId(proposer), seq),
+            ordinal: Some(Ordinal(ord)),
+            semantics: Semantics::TOTAL_STRONG,
+            send_ts: SyncTime(0),
+            view,
+        };
+        a.observe(&mk(0, 1, 1, 1));
+        a.observe(&mk(1, 2, 1, 1)); // different proposal, same ordinal
+        assert!(a
+            .violations()
+            .iter()
+            .any(|v| v.0.contains("total order disagreement")));
+    }
+
+    #[test]
+    fn shared_auditor_funnels_from_sink() {
+        let shared = SharedAuditor::new(3);
+        let sink: &dyn TraceSink = &shared;
+        sink.record(&delivered(0, 1, 1));
+        sink.record(&delivered(0, 1, 1));
+        assert!(!shared.ok());
+        assert!(shared.violations()[0].0.contains("twice"));
+    }
+}

@@ -1,0 +1,459 @@
+//! Wire codec for trace events: `tag(u8) · len(u16) · payload`.
+//!
+//! The explicit payload length is what buys forward compatibility in
+//! both directions:
+//!
+//! * an **unknown tag** decodes to [`TraceEvent::Unknown`] — the payload
+//!   is skipped, and the rest of the stream stays parseable;
+//! * a **known tag with extra trailing payload bytes** (a newer producer
+//!   appended fields) still decodes: parsing reads the fields it knows
+//!   and discards the remainder of the frame.
+//!
+//! Field encodings reuse [`tw_proto::codec`]'s little-endian primitives,
+//! so trace frames and protocol datagrams share one wire vocabulary.
+//! Decoding is total: arbitrary bytes either decode or return a
+//! [`WireError`], never panic (fuzzed in `tests/prop_codec.rs`).
+
+use crate::trace::{ClockStamp, TraceEvent};
+use bytes::{BufMut, Bytes, BytesMut};
+use tw_proto::codec::{Decode, Encode, WireError};
+use tw_proto::{HwTime, Ordinal, SyncTime};
+
+/// Highest event tag this version of the crate produces.
+pub const MAX_KNOWN_TAG: u8 = 8;
+
+impl Encode for ClockStamp {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.hw.encode(buf);
+        self.sync.encode(buf);
+    }
+}
+
+impl Decode for ClockStamp {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ClockStamp {
+            hw: HwTime::decode(buf)?,
+            sync: SyncTime::decode(buf)?,
+        })
+    }
+}
+
+fn encode_ordinal_opt(o: &Option<Ordinal>, buf: &mut BytesMut) {
+    match o {
+        Some(v) => {
+            true.encode(buf);
+            v.encode(buf);
+        }
+        None => false.encode(buf),
+    }
+}
+
+fn decode_ordinal_opt(buf: &mut Bytes) -> Result<Option<Ordinal>, WireError> {
+    if bool::decode(buf)? {
+        Ok(Some(Ordinal::decode(buf)?))
+    } else {
+        Ok(None)
+    }
+}
+
+impl TraceEvent {
+    /// The variant's wire tag. [`TraceEvent::Unknown`] re-encodes under
+    /// the tag it was decoded with (and an empty payload).
+    pub fn tag(&self) -> u8 {
+        match self {
+            TraceEvent::DecisionSent { .. } => 0,
+            TraceEvent::DecisionReceived { .. } => 1,
+            TraceEvent::SuspicionRaised { .. } => 2,
+            TraceEvent::NoDecisionHop { .. } => 3,
+            TraceEvent::WrongSuspicionRescue { .. } => 4,
+            TraceEvent::ReconfigSlotFired { .. } => 5,
+            TraceEvent::ViewInstalled { .. } => 6,
+            TraceEvent::Delivered { .. } => 7,
+            TraceEvent::Purged { .. } => 8,
+            TraceEvent::Unknown { tag } => *tag,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        match self {
+            TraceEvent::DecisionSent {
+                pid,
+                at,
+                send_ts,
+                view,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                send_ts.encode(buf);
+                view.encode(buf);
+            }
+            TraceEvent::DecisionReceived {
+                pid,
+                at,
+                from,
+                send_ts,
+                view,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                from.encode(buf);
+                send_ts.encode(buf);
+                view.encode(buf);
+            }
+            TraceEvent::SuspicionRaised {
+                pid,
+                at,
+                suspect,
+                view,
+            }
+            | TraceEvent::WrongSuspicionRescue {
+                pid,
+                at,
+                suspect,
+                view,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                suspect.encode(buf);
+                view.encode(buf);
+            }
+            TraceEvent::NoDecisionHop {
+                pid,
+                at,
+                suspect,
+                send_ts,
+                view,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                suspect.encode(buf);
+                send_ts.encode(buf);
+                view.encode(buf);
+            }
+            TraceEvent::ReconfigSlotFired {
+                pid,
+                at,
+                slot,
+                listed,
+                empty,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                slot.encode(buf);
+                listed.encode(buf);
+                empty.encode(buf);
+            }
+            TraceEvent::ViewInstalled {
+                pid,
+                at,
+                view,
+                members,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                view.encode(buf);
+                members.encode(buf);
+            }
+            TraceEvent::Delivered {
+                pid,
+                at,
+                id,
+                ordinal,
+                semantics,
+                send_ts,
+                view,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                id.encode(buf);
+                encode_ordinal_opt(ordinal, buf);
+                semantics.encode(buf);
+                send_ts.encode(buf);
+                view.encode(buf);
+            }
+            TraceEvent::Purged {
+                pid,
+                at,
+                view,
+                lost,
+                orphaned,
+                unknown,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                view.encode(buf);
+                lost.encode(buf);
+                orphaned.encode(buf);
+                unknown.encode(buf);
+            }
+            TraceEvent::Unknown { .. } => {}
+        }
+    }
+
+    fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<TraceEvent, WireError> {
+        Ok(match tag {
+            0 => TraceEvent::DecisionSent {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                send_ts: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+            },
+            1 => TraceEvent::DecisionReceived {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                from: Decode::decode(buf)?,
+                send_ts: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+            },
+            2 => TraceEvent::SuspicionRaised {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                suspect: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+            },
+            3 => TraceEvent::NoDecisionHop {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                suspect: Decode::decode(buf)?,
+                send_ts: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+            },
+            4 => TraceEvent::WrongSuspicionRescue {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                suspect: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+            },
+            5 => TraceEvent::ReconfigSlotFired {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                slot: Decode::decode(buf)?,
+                listed: Decode::decode(buf)?,
+                empty: Decode::decode(buf)?,
+            },
+            6 => TraceEvent::ViewInstalled {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+                members: Decode::decode(buf)?,
+            },
+            7 => TraceEvent::Delivered {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                id: Decode::decode(buf)?,
+                ordinal: decode_ordinal_opt(buf)?,
+                semantics: Decode::decode(buf)?,
+                send_ts: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+            },
+            8 => TraceEvent::Purged {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                view: Decode::decode(buf)?,
+                lost: Decode::decode(buf)?,
+                orphaned: Decode::decode(buf)?,
+                unknown: Decode::decode(buf)?,
+            },
+            _ => unreachable!("caller routes unknown tags"),
+        })
+    }
+}
+
+impl Encode for TraceEvent {
+    fn encode(&self, buf: &mut BytesMut) {
+        let mut payload = BytesMut::with_capacity(64);
+        self.encode_payload(&mut payload);
+        self.tag().encode(buf);
+        debug_assert!(payload.len() <= u16::MAX as usize);
+        (payload.len() as u16).encode(buf);
+        buf.put_slice(&payload);
+    }
+}
+
+impl Decode for TraceEvent {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let tag = u8::decode(buf)?;
+        let len = u16::decode(buf)? as usize;
+        if buf.len() < len {
+            return Err(WireError::UnexpectedEof {
+                what: "trace event payload",
+            });
+        }
+        let mut payload = buf.split_to(len);
+        if tag > MAX_KNOWN_TAG {
+            // Newer producer: skip the frame, keep the stream parseable.
+            return Ok(TraceEvent::Unknown { tag });
+        }
+        // Trailing payload bytes (fields appended by a newer producer)
+        // are deliberately ignored.
+        TraceEvent::decode_payload(tag, &mut payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_proto::{AckBits, ProcessId, ProposalId, Semantics, ViewId};
+
+    fn stamp(hw: i64, sync: i64) -> ClockStamp {
+        ClockStamp {
+            hw: HwTime(hw),
+            sync: SyncTime(sync),
+        }
+    }
+
+    fn all_variants() -> Vec<TraceEvent> {
+        let pid = ProcessId(3);
+        let view = ViewId::new(7, ProcessId(1));
+        let at = stamp(1_000, 1_002);
+        vec![
+            TraceEvent::DecisionSent {
+                pid,
+                at,
+                send_ts: SyncTime(5),
+                view,
+            },
+            TraceEvent::DecisionReceived {
+                pid,
+                at,
+                from: ProcessId(2),
+                send_ts: SyncTime(5),
+                view,
+            },
+            TraceEvent::SuspicionRaised {
+                pid,
+                at,
+                suspect: ProcessId(4),
+                view,
+            },
+            TraceEvent::NoDecisionHop {
+                pid,
+                at,
+                suspect: ProcessId(4),
+                send_ts: SyncTime(6),
+                view,
+            },
+            TraceEvent::WrongSuspicionRescue {
+                pid,
+                at,
+                suspect: ProcessId(0),
+                view,
+            },
+            TraceEvent::ReconfigSlotFired {
+                pid,
+                at,
+                slot: -3,
+                listed: 4,
+                empty: true,
+            },
+            TraceEvent::ViewInstalled {
+                pid,
+                at,
+                view,
+                members: AckBits(0b1_0111),
+            },
+            TraceEvent::Delivered {
+                pid,
+                at,
+                id: ProposalId::new(ProcessId(2), 9),
+                ordinal: Some(Ordinal(11)),
+                semantics: Semantics::TOTAL_STRONG,
+                send_ts: SyncTime(4),
+                view,
+            },
+            TraceEvent::Delivered {
+                pid,
+                at,
+                id: ProposalId::new(ProcessId(2), 10),
+                ordinal: None,
+                semantics: Semantics::UNORDERED_WEAK,
+                send_ts: SyncTime(5),
+                view,
+            },
+            TraceEvent::Purged {
+                pid,
+                at,
+                view,
+                lost: 1,
+                orphaned: 2,
+                unknown: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for ev in all_variants() {
+            let bytes = ev.to_bytes();
+            let back = TraceEvent::from_bytes(&bytes).unwrap();
+            assert_eq!(back, ev, "roundtrip of {}", ev.label());
+        }
+    }
+
+    #[test]
+    fn a_stream_of_events_decodes_in_sequence() {
+        let evs = all_variants();
+        let mut buf = BytesMut::new();
+        for ev in &evs {
+            ev.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for ev in &evs {
+            assert_eq!(&TraceEvent::decode(&mut bytes).unwrap(), ev);
+        }
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_skips_payload_and_keeps_stream() {
+        // Frame a fictitious tag-42 event with 5 payload bytes, followed
+        // by a real event.
+        let mut buf = BytesMut::new();
+        42u8.encode(&mut buf);
+        5u16.encode(&mut buf);
+        buf.put_slice(&[9, 9, 9, 9, 9]);
+        let real = all_variants().remove(0);
+        real.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            TraceEvent::decode(&mut bytes).unwrap(),
+            TraceEvent::Unknown { tag: 42 }
+        );
+        assert_eq!(TraceEvent::decode(&mut bytes).unwrap(), real);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn known_tag_with_appended_fields_still_decodes() {
+        // A newer producer appends bytes to a DecisionSent payload; we
+        // must parse the fields we know and skip the rest of the frame.
+        let ev = all_variants().remove(0);
+        let mut payload = BytesMut::new();
+        ev.encode_payload(&mut payload);
+        payload.put_slice(&[1, 2, 3]);
+        let mut buf = BytesMut::new();
+        ev.tag().encode(&mut buf);
+        (payload.len() as u16).encode(&mut buf);
+        buf.put_slice(&payload);
+        let mut bytes = buf.freeze();
+        assert_eq!(TraceEvent::decode(&mut bytes).unwrap(), ev);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors_without_panicking() {
+        let full = all_variants().remove(7).to_bytes(); // Delivered
+        for cut in 0..full.len() {
+            let r = TraceEvent::from_bytes(&full[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn unknown_reencodes_as_empty_frame() {
+        let ev = TraceEvent::Unknown { tag: 99 };
+        let bytes = ev.to_bytes();
+        assert_eq!(bytes.len(), 3); // tag + zero length
+        assert_eq!(TraceEvent::from_bytes(&bytes).unwrap(), ev);
+    }
+}

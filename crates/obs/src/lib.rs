@@ -1,0 +1,55 @@
+//! # tw-obs — structured observability for the timewheel protocols
+//!
+//! The paper's guarantees are *countable* claims: zero membership
+//! messages while failure-free (§4.1), recovery within one no-decision
+//! cycle, fail-awareness within a bound. This crate turns those claims
+//! into telemetry that can be asserted on a **running** cluster, not just
+//! inside the deterministic simulator:
+//!
+//! * [`trace`] — a typed, allocation-light [`TraceEvent`] stream covering
+//!   every protocol-visible transition (decisions sent/received,
+//!   suspicions, no-decision hops, wrong-suspicion rescues,
+//!   reconfiguration slots, view installations, deliveries, §4.3 purges),
+//!   each stamped with the emitting member's hardware/synchronized clock
+//!   pair and emitted through a pluggable [`Tracer`] sink.
+//! * [`metrics`] — a lock-minimal [`Registry`] of named counters and
+//!   bucketed latency histograms. Hot-path updates are single atomic
+//!   adds on pre-registered handles; snapshots are `BTreeMap`-keyed so
+//!   their iteration order (and JSON export) is deterministic.
+//! * [`codec`] — a length-prefixed wire format for trace events so
+//!   streams can cross process boundaries; unknown event tags decode to
+//!   [`TraceEvent::Unknown`] instead of failing, keeping old consumers
+//!   compatible with newer producers.
+//! * [`audit`] — a live invariant [`Auditor`] that tails the merged trace
+//!   streams of all cluster members and incrementally re-checks the
+//!   membership/broadcast invariants (no duplicate deliveries, FIFO and
+//!   time order, total-order agreement, majority views, view agreement)
+//!   online, so soak and runtime tests can assert correctness from
+//!   telemetry alone.
+//!
+//! The crate depends only on the wire vocabulary ([`tw_proto`]); the
+//! protocol core, the simulator and the runtime all layer it in without
+//! cycles. Everything here obeys the workspace determinism lint: no
+//! wall-clock reads, no ambient randomness, no hash-ordered containers,
+//! no floats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod codec;
+pub mod metrics;
+pub mod trace;
+
+pub use audit::{Auditor, SharedAuditor, Violation};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_US,
+};
+pub use trace::{ClockStamp, TraceEvent, TraceSink, Tracer, VecSink};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::audit::{Auditor, SharedAuditor, Violation};
+    pub use crate::metrics::{Counter, Histogram, Registry, Snapshot};
+    pub use crate::trace::{ClockStamp, TraceEvent, TraceSink, Tracer, VecSink};
+}

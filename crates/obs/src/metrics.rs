@@ -1,0 +1,465 @@
+//! A lock-minimal metrics registry: named counters and bucketed latency
+//! histograms.
+//!
+//! Registration takes a short mutex hold on a `BTreeMap`; the returned
+//! [`Counter`]/[`Histogram`] handles update shared atomics with no lock
+//! at all, so hot protocol paths pay one `fetch_add` per event. All keys
+//! and snapshot orderings are `BTreeMap`-based, so two runs that count
+//! the same events export byte-identical JSON — the property the
+//! determinism lint protects everywhere else in the workspace.
+//!
+//! Histogram values are integer microseconds: bucket bounds, counts and
+//! sums are all `u64`, keeping the crate free of floating point (means
+//! or percentiles are a consumer-side division).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default histogram bucket upper bounds for latencies, in microseconds
+/// (roughly logarithmic from 1 µs to 1 s).
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not in any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing; an implicit overflow
+    /// bucket catches everything above the last bound.
+    bounds: Vec<u64>,
+    /// One cell per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A bucketed histogram handle. Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A free-standing histogram over `bounds` (inclusive upper bounds,
+    /// strictly increasing).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={})", self.count())
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of counters and histograms.
+///
+/// The mutex guards only (de)registration and snapshotting; updates go
+/// through the handles and never touch it.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    /// The same name always yields handles on the same cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.lock();
+        if let Some(c) = inner.counters.get(name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        inner.counters.insert(name.to_owned(), c.clone());
+        c
+    }
+
+    /// The histogram named `name`, registering it over `bounds` on first
+    /// use (later calls reuse the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::new(bounds);
+        inner.histograms.insert(name.to_owned(), h.clone());
+        h
+    }
+
+    /// Current value of the counter named `name` (zero if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).map(Counter::get).unwrap_or(0)
+    }
+
+    /// Zero every counter and histogram, keeping all handles valid.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.snapshot(), f)
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one more entry than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let same_shape = earlier.bounds == self.bounds;
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let e = if same_shape {
+                        earlier.buckets.get(i).copied().unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    b.saturating_sub(e)
+                })
+                .collect(),
+            count: self
+                .count
+                .saturating_sub(if same_shape { earlier.count } else { 0 }),
+            sum: self
+                .sum
+                .saturating_sub(if same_shape { earlier.sum } else { 0 }),
+        }
+    }
+}
+
+/// A deterministic point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The counter named `name` (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The change from `earlier` to `self`, per metric. Metrics absent
+    /// from `earlier` count from zero; a reset in between saturates to
+    /// zero instead of underflowing.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        match earlier.histograms.get(k) {
+                            Some(e) => h.delta(e),
+                            None => h.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Render as a JSON object. Keys appear in `BTreeMap` order, so the
+    /// output is deterministic for a given snapshot.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push_str(":{\"bounds\":");
+            push_json_u64s(&mut out, &h.bounds);
+            out.push_str(",\"buckets\":");
+            push_json_u64s(&mut out, &h.buckets);
+            out.push_str(",\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.sum.to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_u64s(out: &mut String, vals: &[u64]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("x"), 3);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_bound() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(10);
+        h.record(11);
+        h.record(1_000); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 5 + 10 + 11 + 1_000);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_per_metric() {
+        let r = Registry::new();
+        let c = r.counter("sends.decision");
+        let h = r.histogram("lat", &[10]);
+        c.add(5);
+        h.record(3);
+        let before = r.snapshot();
+        c.add(2);
+        h.record(30);
+        let after = r.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counter("sends.decision"), 2);
+        assert_eq!(d.histograms["lat"].count, 1);
+        assert_eq!(d.histograms["lat"].buckets, vec![0, 1]);
+        assert_eq!(d.histograms["lat"].sum, 30);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        let h = r.histogram("b", &[1]);
+        c.inc();
+        h.record(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(r.counter_value("a"), 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.counter("a").add(2);
+        r.histogram("lat", &[5, 50]).record(7);
+        let j = r.snapshot().to_json();
+        assert_eq!(
+            j,
+            "{\"counters\":{\"a\":2,\"z\":1},\"histograms\":{\"lat\":{\"bounds\":[5,50],\
+             \"buckets\":[0,1,0],\"count\":1,\"sum\":7}}}"
+        );
+        // Stable across snapshots.
+        assert_eq!(j, r.snapshot().to_json());
+    }
+
+    #[test]
+    fn json_escapes_odd_names() {
+        let r = Registry::new();
+        r.counter("we\"ird\\name").inc();
+        let j = r.snapshot().to_json();
+        assert!(j.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn latency_bounds_are_increasing() {
+        assert!(LATENCY_BOUNDS_US.windows(2).all(|w| w[0] < w[1]));
+    }
+}

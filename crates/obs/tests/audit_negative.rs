@@ -1,0 +1,211 @@
+//! Negative coverage for the live invariant auditor: fabricate
+//! deliberately corrupted trace streams and prove each online check can
+//! actually fire.
+//!
+//! This mirrors `crates/core/tests/invariants_negative.rs` for the
+//! offline checkers: an auditor that silently accepts garbage would turn
+//! every runtime/soak assertion built on it into green noise. Each test
+//! doctors the *minimal* broken stream for one invariant and asserts the
+//! auditor flags it with the expected message — so stubbing a check out
+//! fails these tests loudly.
+
+use tw_obs::{Auditor, ClockStamp, SharedAuditor, TraceEvent, TraceSink};
+use tw_proto::{
+    AckBits, HwTime, Ordinal, ProcessId, ProposalId, Semantics, SyncTime, ViewId,
+};
+
+const N: usize = 5;
+
+fn stamp(us: i64) -> ClockStamp {
+    ClockStamp {
+        hw: HwTime::from_micros(us),
+        sync: SyncTime(us),
+    }
+}
+
+fn view1() -> ViewId {
+    ViewId::new(1, ProcessId(0))
+}
+
+fn installed(pid: u16, view: ViewId, members: u64, t_us: i64) -> TraceEvent {
+    TraceEvent::ViewInstalled {
+        pid: ProcessId(pid),
+        at: stamp(t_us),
+        view,
+        members: AckBits(members),
+    }
+}
+
+fn delivered(pid: u16, proposer: u16, seq: u64, sem: Semantics, send_us: i64) -> TraceEvent {
+    TraceEvent::Delivered {
+        pid: ProcessId(pid),
+        at: stamp(send_us + 100),
+        id: ProposalId::new(ProcessId(proposer), seq),
+        ordinal: Some(Ordinal(seq)),
+        semantics: sem,
+        send_ts: SyncTime(send_us),
+        view: view1(),
+    }
+}
+
+/// A clean failure-free stream: full view everywhere, FIFO in-order
+/// total-ordered deliveries. The baseline every doctored stream is a
+/// one-event mutation of.
+fn clean_stream() -> Vec<TraceEvent> {
+    let mut evs = Vec::new();
+    for p in 0..N as u16 {
+        evs.push(installed(p, view1(), 0b1_1111, 100));
+    }
+    for seq in 1..=3u64 {
+        for p in 0..N as u16 {
+            evs.push(delivered(p, 0, seq, Semantics::TOTAL_STRONG, 200 + seq as i64));
+        }
+    }
+    evs
+}
+
+fn audit(evs: &[TraceEvent]) -> Auditor {
+    let mut a = Auditor::new(N);
+    for ev in evs {
+        a.observe(ev);
+    }
+    a
+}
+
+#[test]
+fn clean_stream_passes() {
+    let a = audit(&clean_stream());
+    assert!(a.ok(), "unexpected violations: {:?}", a.violations());
+}
+
+#[test]
+fn doctored_duplicate_delivery_is_flagged() {
+    let mut evs = clean_stream();
+    // p3 re-delivers proposer 0's seq 2.
+    evs.push(delivered(3, 0, 2, Semantics::TOTAL_STRONG, 202));
+    let a = audit(&evs);
+    assert!(!a.ok(), "auditor accepted a duplicate delivery");
+    assert!(
+        a.violations().iter().any(|v| v.0.contains("twice")),
+        "missing duplicate violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn doctored_minority_view_is_flagged() {
+    let mut evs = clean_stream();
+    // p4 installs a two-member view of the five-process team.
+    evs.push(installed(4, ViewId::new(2, ProcessId(4)), 0b1_0001, 900));
+    let a = audit(&evs);
+    assert!(!a.ok(), "auditor accepted a minority view");
+    assert!(
+        a.violations().iter().any(|v| v.0.contains("non-majority")),
+        "missing minority violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn doctored_fifo_inversion_is_flagged() {
+    let mut evs = vec![installed(0, view1(), 0b1_1111, 100)];
+    evs.push(delivered(0, 1, 2, Semantics::UNORDERED_WEAK, 210));
+    evs.push(delivered(0, 1, 1, Semantics::UNORDERED_WEAK, 200));
+    let a = audit(&evs);
+    assert!(
+        a.violations().iter().any(|v| v.0.contains("FIFO")),
+        "missing FIFO violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn doctored_total_order_conflict_is_flagged() {
+    let mut evs: Vec<TraceEvent> = (0..2u16)
+        .map(|p| installed(p, view1(), 0b1_1111, 100))
+        .collect();
+    // Both members bind ordinal 1, but to different proposals.
+    let mk = |pid: u16, proposer: u16| TraceEvent::Delivered {
+        pid: ProcessId(pid),
+        at: stamp(300),
+        id: ProposalId::new(ProcessId(proposer), 1),
+        ordinal: Some(Ordinal(1)),
+        semantics: Semantics::TOTAL_STRONG,
+        send_ts: SyncTime(200),
+        view: view1(),
+    };
+    evs.push(mk(0, 1));
+    evs.push(mk(1, 2));
+    let a = audit(&evs);
+    assert!(
+        a.violations()
+            .iter()
+            .any(|v| v.0.contains("total order disagreement")),
+        "missing total-order violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn doctored_time_order_inversion_is_flagged() {
+    let mut evs = vec![installed(0, view1(), 0b1_1111, 100)];
+    evs.push(delivered(0, 1, 1, Semantics::TIME_STRICT, 500));
+    evs.push(delivered(0, 2, 1, Semantics::TIME_STRICT, 400));
+    let a = audit(&evs);
+    assert!(
+        a.violations().iter().any(|v| v.0.contains("time-ordered")),
+        "missing time-order violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn doctored_view_disagreement_is_flagged() {
+    let v = ViewId::new(2, ProcessId(1));
+    let evs = vec![
+        installed(0, v, 0b0_0111, 100),
+        installed(1, v, 0b0_1110, 110), // same id, different member set
+    ];
+    let a = audit(&evs);
+    assert!(
+        a.violations()
+            .iter()
+            .any(|v| v.0.contains("view agreement broken")),
+        "missing view-agreement violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn doctored_competing_majority_groups_are_flagged() {
+    // Two different majority groups both complete at view seq 2.
+    let evs = vec![
+        installed(0, ViewId::new(2, ProcessId(0)), 0b0_0111, 100),
+        installed(4, ViewId::new(2, ProcessId(4)), 0b1_1100, 110),
+    ];
+    let a = audit(&evs);
+    assert!(
+        a.violations()
+            .iter()
+            .any(|v| v.0.contains("two completed majority groups")),
+        "missing competing-groups violation: {:?}",
+        a.violations()
+    );
+}
+
+#[test]
+fn shared_auditor_flags_through_the_sink_interface() {
+    // The runtime feeds the auditor through `TraceSink::record`; the
+    // broken fixture must be caught on that path too.
+    let shared = SharedAuditor::new(N);
+    let sink: &dyn TraceSink = &shared;
+    for ev in clean_stream() {
+        sink.record(&ev);
+    }
+    assert!(shared.ok());
+    sink.record(&delivered(3, 0, 2, Semantics::TOTAL_STRONG, 202));
+    assert!(!shared.ok(), "sink path accepted a duplicate delivery");
+    assert!(shared.violations().iter().any(|v| v.0.contains("twice")));
+    let result = std::panic::catch_unwind(|| shared.assert_clean());
+    assert!(result.is_err(), "assert_clean must panic on violations");
+}

@@ -23,20 +23,23 @@
 
 pub mod clock;
 pub mod event_loop;
+pub mod metrics;
 pub mod node;
 pub mod threaded;
 pub mod transport;
 
 pub use clock::{RealClock, RuntimeClock};
+pub use metrics::NodeMetrics;
 pub use node::{
-    spawn_cluster, spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent, DeliveryHook,
-    ExecutorKind, Node, NodeCommand, NodeOutput,
+    spawn_cluster, spawn_cluster_traced, spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent,
+    DeliveryHook, ExecutorKind, Node, NodeCommand, NodeOutput,
 };
 pub use transport::{MemTransport, Transport, UdpTransport};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::clock::{RealClock, RuntimeClock};
-    pub use crate::node::{spawn_cluster, spawn_udp_cluster, ExecutorKind, Node};
+    pub use crate::metrics::NodeMetrics;
+    pub use crate::node::{spawn_cluster, spawn_cluster_traced, spawn_udp_cluster, ExecutorKind, Node};
     pub use crate::transport::{MemTransport, Transport, UdpTransport};
 }

@@ -7,6 +7,7 @@
 //! one over real UDP sockets.
 
 use crate::clock::{RealClock, RuntimeClock};
+use crate::metrics::NodeMetrics;
 use crate::transport::{Incoming, MemTransport, Transport, UdpTransport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -15,6 +16,7 @@ use std::sync::Arc;
 use timewheel::events::LeaveReason;
 use timewheel::member::broadcast::ProposeError;
 use timewheel::{Config, Delivery, Member};
+use tw_obs::{Snapshot, TraceSink, Tracer};
 use tw_proto::{ProcessId, Semantics, View};
 
 /// Commands a client can send to its node.
@@ -58,9 +60,20 @@ pub struct Node {
     pub outputs: Receiver<NodeOutput>,
     handles: Vec<std::thread::JoinHandle<()>>,
     udp: Option<Arc<UdpTransport>>,
+    metrics: Arc<NodeMetrics>,
 }
 
 impl Node {
+    /// This node's live metrics (counters update while the node runs).
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of this node's metrics, exportable as JSON.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
     /// Broadcast an update (fire-and-forget; rejection reported on
     /// `outputs`).
     pub fn propose(&self, payload: Bytes, semantics: Semantics) {
@@ -135,6 +148,7 @@ pub(crate) struct NodeParts {
     pub transport: Arc<dyn Transport>,
     pub clock: Arc<dyn RuntimeClock + Sync>,
     pub hook: Option<DeliveryHook>,
+    pub metrics: Arc<NodeMetrics>,
 }
 
 fn spawn_node(
@@ -149,6 +163,7 @@ fn spawn_node(
     let pid = member.pid();
     let (cmd_tx, cmd_rx) = unbounded();
     let (out_tx, out_rx) = unbounded();
+    let metrics = NodeMetrics::new();
     let parts = NodeParts {
         member,
         inbox,
@@ -157,6 +172,7 @@ fn spawn_node(
         transport,
         clock: Arc::new(RealClock::new()),
         hook,
+        metrics: metrics.clone(),
     };
     let main = std::thread::Builder::new()
         .name(format!("tw-node-{pid}"))
@@ -172,6 +188,7 @@ fn spawn_node(
         outputs: out_rx,
         handles: extra_handles,
         udp,
+        metrics,
     }
 }
 
@@ -185,7 +202,29 @@ pub fn spawn_cluster(kind: ExecutorKind, cfg: Config) -> Vec<Node> {
 pub fn spawn_cluster_with_hooks(
     kind: ExecutorKind,
     cfg: Config,
+    make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
+) -> Vec<Node> {
+    spawn_cluster_inner(kind, cfg, make_hook, None)
+}
+
+/// Start an in-process team with every member's trace stream attached to
+/// `sink` — e.g. a [`tw_obs::SharedAuditor`] checking the protocol's
+/// invariants live, or a [`tw_obs::VecSink`] capturing events for later
+/// analysis. Events from all members interleave on the one sink; each
+/// event carries its emitting process id.
+pub fn spawn_cluster_traced(
+    kind: ExecutorKind,
+    cfg: Config,
+    sink: Arc<dyn TraceSink>,
+) -> Vec<Node> {
+    spawn_cluster_inner(kind, cfg, |_| None, Some(sink))
+}
+
+fn spawn_cluster_inner(
+    kind: ExecutorKind,
+    cfg: Config,
     mut make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
+    sink: Option<Arc<dyn TraceSink>>,
 ) -> Vec<Node> {
     let n = cfg.n;
     let mut inbox_txs = Vec::with_capacity(n);
@@ -201,7 +240,10 @@ pub fn spawn_cluster_with_hooks(
         .enumerate()
         .map(|(i, inbox)| {
             let pid = ProcessId(i as u16);
-            let member = Member::new_unchecked(pid, cfg);
+            let mut member = Member::new_unchecked(pid, cfg);
+            if let Some(s) = &sink {
+                member.set_tracer(Tracer::new(s.clone()));
+            }
             spawn_node(
                 kind,
                 member,
@@ -264,14 +306,22 @@ pub(crate) fn apply_actions(
     out: &Sender<NodeOutput>,
     now: tw_proto::HwTime,
     hook: &mut Option<DeliveryHook>,
+    metrics: &NodeMetrics,
 ) -> (Option<tw_proto::HwTime>, Option<Bytes>) {
     let mut next_clock = None;
     let mut snapshot = None;
     for a in actions {
         match a {
-            timewheel::Action::Broadcast(m) => transport.broadcast(pid, &m),
-            timewheel::Action::Send(to, m) => transport.send(to, &m),
+            timewheel::Action::Broadcast(m) => {
+                metrics.on_send(m.kind());
+                transport.broadcast(pid, &m);
+            }
+            timewheel::Action::Send(to, m) => {
+                metrics.on_send(m.kind());
+                transport.send(to, &m);
+            }
             timewheel::Action::Deliver(d) => {
+                metrics.on_delivery();
                 if let Some(h) = hook {
                     if let Some(s) = h(AppEvent::Deliver(&d)) {
                         snapshot = Some(s);
@@ -287,6 +337,7 @@ pub(crate) fn apply_actions(
                 }
             }
             timewheel::Action::InstallView(v) => {
+                metrics.on_view();
                 let _ = out.send(NodeOutput::View(v));
             }
             timewheel::Action::LeftGroup { reason } => {

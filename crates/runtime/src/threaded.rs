@@ -23,6 +23,7 @@ pub(crate) fn run(parts: NodeParts) {
         transport,
         clock,
         hook,
+        metrics,
     } = parts;
     let hook = Arc::new(Mutex::new(hook));
     let pid = member.pid();
@@ -37,7 +38,8 @@ pub(crate) fn run(parts: NodeParts) {
         let now = clock.now_hw();
         next_clock.store((now + resync).0, Ordering::Relaxed);
         let actions = member.on_start(now);
-        let (t, snap) = apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+        let (t, snap) =
+            apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock(), &metrics);
         if let Some(t) = t {
             next_clock.store(t.0, Ordering::Relaxed);
         }
@@ -66,10 +68,12 @@ pub(crate) fn run(parts: NodeParts) {
             let stop = stop.clone();
             let next_clock = next_clock.clone();
             let hook = hook.clone();
+            let metrics = metrics.clone();
             handles.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(StdDuration::from_millis(20)) {
                         Ok((from, msg)) => {
+                            let started = std::time::Instant::now();
                             let now = clock.now_hw();
                             let actions = member.lock().on_message(now, from, msg);
                             let (t, snap) = apply_actions(
@@ -79,7 +83,9 @@ pub(crate) fn run(parts: NodeParts) {
                                 &out,
                                 now,
                                 &mut hook.lock(),
+                                &metrics,
                             );
+                            metrics.on_dispatch(started);
                             if let Some(t) = t {
                                 next_clock.store(t.0, Ordering::Relaxed);
                             }
@@ -118,14 +124,22 @@ pub(crate) fn run(parts: NodeParts) {
         let stop = stop.clone();
         let next_clock = next_clock.clone();
         let hook = hook.clone();
+        let metrics = metrics.clone();
         handles.push(std::thread::spawn(move || {
             let period = StdDuration::from_micros(tick.as_micros() as u64);
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(period);
                 let now = clock.now_hw();
                 let actions = member.lock().on_tick(now);
-                let (t, snap) =
-                    apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+                let (t, snap) = apply_actions(
+                    pid,
+                    actions,
+                    &*transport,
+                    &out,
+                    now,
+                    &mut hook.lock(),
+                    &metrics,
+                );
                 if let Some(t) = t {
                     next_clock.store(t.0, Ordering::Relaxed);
                 }
@@ -145,14 +159,22 @@ pub(crate) fn run(parts: NodeParts) {
         let stop = stop.clone();
         let next_clock = next_clock.clone();
         let hook = hook.clone();
+        let metrics = metrics.clone();
         handles.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 let now = clock.now_hw();
                 let due = next_clock.load(Ordering::Relaxed);
                 if now.0 >= due {
                     let actions = member.lock().on_clock_tick(now);
-                    let (t, _) =
-                        apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+                    let (t, _) = apply_actions(
+                        pid,
+                        actions,
+                        &*transport,
+                        &out,
+                        now,
+                        &mut hook.lock(),
+                        &metrics,
+                    );
                     match t {
                         Some(t) => next_clock.store(t.0, Ordering::Relaxed),
                         None => next_clock.store((now + resync).0, Ordering::Relaxed),
@@ -174,8 +196,15 @@ pub(crate) fn run(parts: NodeParts) {
                 let r = member.lock().propose(now, payload, sem);
                 match r {
                     Ok(actions) => {
-                        let (t, snap) =
-                            apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock());
+                        let (t, snap) = apply_actions(
+                            pid,
+                            actions,
+                            &*transport,
+                            &out,
+                            now,
+                            &mut hook.lock(),
+                            &metrics,
+                        );
                         if let Some(t) = t {
                             next_clock.store(t.0, Ordering::Relaxed);
                         }

@@ -9,8 +9,17 @@
 //! Two granularities are tracked: *sends* (one per `send`/`broadcast` call
 //! — what a process pays, and what a broadcast Ethernet carries) and
 //! *datagrams* (one per destination — what a unicast fan-out would carry).
+//!
+//! Since the observability pass, the ledger is backed by a shared
+//! [`tw_obs::Registry`], so the same counters a live deployment exports as
+//! JSON are the ones the simulator's tests assert on. Counter names follow
+//! `<ledger>.<kind>` (e.g. `sends.decision`, `dropped.join`) plus
+//! `sends.by_process.<pid>` for the per-process load ledger. The historical
+//! `Stats` API is preserved on top of the registry so T1–T11 and every
+//! bench binary keep working unchanged.
 
 use std::collections::BTreeMap;
+use tw_obs::{Counter, Registry, Snapshot};
 use tw_proto::ProcessId;
 
 /// Counters for one message kind.
@@ -30,11 +39,47 @@ pub struct KindCounters {
     pub to_crashed: u64,
 }
 
-/// The world's message ledger.
-#[derive(Debug, Clone, Default)]
+/// Cached registry handles for one message kind — one counter per ledger.
+#[derive(Debug, Clone)]
+struct KindHandles {
+    sends: Counter,
+    datagrams: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    late: Counter,
+    to_crashed: Counter,
+}
+
+impl KindHandles {
+    fn register(registry: &Registry, kind: &str) -> Self {
+        Self {
+            sends: registry.counter(&format!("sends.{kind}")),
+            datagrams: registry.counter(&format!("datagrams.{kind}")),
+            delivered: registry.counter(&format!("delivered.{kind}")),
+            dropped: registry.counter(&format!("dropped.{kind}")),
+            late: registry.counter(&format!("late.{kind}")),
+            to_crashed: registry.counter(&format!("to_crashed.{kind}")),
+        }
+    }
+
+    fn values(&self) -> KindCounters {
+        KindCounters {
+            sends: self.sends.get(),
+            datagrams: self.datagrams.get(),
+            delivered: self.delivered.get(),
+            dropped: self.dropped.get(),
+            late: self.late.get(),
+            to_crashed: self.to_crashed.get(),
+        }
+    }
+}
+
+/// The world's message ledger, backed by a [`Registry`].
+#[derive(Debug, Default)]
 pub struct Stats {
-    by_kind: BTreeMap<&'static str, KindCounters>,
-    sends_by_process: BTreeMap<ProcessId, u64>,
+    registry: Registry,
+    by_kind: BTreeMap<&'static str, KindHandles>,
+    sends_by_process: BTreeMap<ProcessId, Counter>,
 }
 
 impl Stats {
@@ -45,57 +90,79 @@ impl Stats {
 
     /// Clear all counters (e.g. after warm-up, to measure steady state).
     pub fn reset(&mut self) {
+        self.registry = Registry::new();
         self.by_kind.clear();
         self.sends_by_process.clear();
     }
 
-    fn kind_mut(&mut self, kind: &'static str) -> &mut KindCounters {
-        self.by_kind.entry(kind).or_default()
+    /// The metrics registry behind the ledger. Useful for exporting the
+    /// simulator's counters in the same JSON shape a live node produces.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every counter, exportable as JSON.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    fn kind_mut(&mut self, kind: &'static str) -> &KindHandles {
+        let registry = &self.registry;
+        self.by_kind
+            .entry(kind)
+            .or_insert_with(|| KindHandles::register(registry, kind))
     }
 
     /// Record one send/broadcast operation by `from`.
     pub fn record_send(&mut self, kind: &'static str, from: ProcessId) {
-        self.kind_mut(kind).sends += 1;
-        *self.sends_by_process.entry(from).or_default() += 1;
+        self.kind_mut(kind).sends.inc();
+        let registry = &self.registry;
+        self.sends_by_process
+            .entry(from)
+            .or_insert_with(|| registry.counter(&format!("sends.by_process.{}", from.0)))
+            .inc();
     }
 
     /// Record one datagram put on the wire.
     pub fn record_datagram(&mut self, kind: &'static str) {
-        self.kind_mut(kind).datagrams += 1;
+        self.kind_mut(kind).datagrams.inc();
     }
 
     /// Record a datagram delivered to a live destination.
     pub fn record_delivered(&mut self, kind: &'static str, late: bool) {
         let k = self.kind_mut(kind);
-        k.delivered += 1;
+        k.delivered.inc();
         if late {
-            k.late += 1;
+            k.late.inc();
         }
     }
 
     /// Record a dropped datagram.
     pub fn record_dropped(&mut self, kind: &'static str) {
-        self.kind_mut(kind).dropped += 1;
+        self.kind_mut(kind).dropped.inc();
     }
 
     /// Record a datagram that arrived at a crashed process.
     pub fn record_to_crashed(&mut self, kind: &'static str) {
-        self.kind_mut(kind).to_crashed += 1;
+        self.kind_mut(kind).to_crashed.inc();
     }
 
     /// Counters for one kind (zeros if never seen).
     pub fn kind(&self, kind: &str) -> KindCounters {
-        self.by_kind.get(kind).copied().unwrap_or_default()
+        self.by_kind
+            .get(kind)
+            .map(KindHandles::values)
+            .unwrap_or_default()
     }
 
     /// Iterate `(kind, counters)` pairs, sorted by kind.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &KindCounters)> {
-        self.by_kind.iter().map(|(k, v)| (*k, v))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindCounters)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, v.values()))
     }
 
     /// Total send operations across all kinds.
     pub fn total_sends(&self) -> u64 {
-        self.by_kind.values().map(|c| c.sends).sum()
+        self.by_kind.values().map(|c| c.sends.get()).sum()
     }
 
     /// Total sends of the kinds named in `kinds`.
@@ -107,7 +174,7 @@ impl Stats {
     pub fn sends_by_process(&self) -> Vec<(ProcessId, u64)> {
         self.sends_by_process
             .iter()
-            .map(|(p, c)| (*p, *c))
+            .map(|(p, c)| (*p, c.get()))
             .collect()
     }
 
@@ -115,9 +182,46 @@ impl Stats {
     /// sent anything — a quick skew measure for the load-balance claim
     /// (the decider role rotates, so decision load is even).
     pub fn send_skew(&self) -> u64 {
-        let max = self.sends_by_process.values().max().copied().unwrap_or(0);
-        let min = self.sends_by_process.values().min().copied().unwrap_or(0);
+        let max = self
+            .sends_by_process
+            .values()
+            .map(Counter::get)
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .sends_by_process
+            .values()
+            .map(Counter::get)
+            .min()
+            .unwrap_or(0);
         max - min
+    }
+}
+
+impl Clone for Stats {
+    /// Deep copy: counter handles share their cell, so a derived clone
+    /// would alias the original's counters. Clone into a fresh registry
+    /// carrying the current values instead.
+    fn clone(&self) -> Self {
+        let mut out = Stats::new();
+        for (kind, handles) in &self.by_kind {
+            let fresh = out.kind_mut(kind);
+            let v = handles.values();
+            fresh.sends.add(v.sends);
+            fresh.datagrams.add(v.datagrams);
+            fresh.delivered.add(v.delivered);
+            fresh.dropped.add(v.dropped);
+            fresh.late.add(v.late);
+            fresh.to_crashed.add(v.to_crashed);
+        }
+        for (pid, c) in &self.sends_by_process {
+            let registry = &out.registry;
+            out.sends_by_process
+                .entry(*pid)
+                .or_insert_with(|| registry.counter(&format!("sends.by_process.{}", pid.0)))
+                .add(c.get());
+        }
+        out
     }
 }
 
@@ -166,6 +270,7 @@ mod tests {
         s.reset();
         assert_eq!(s.total_sends(), 0);
         assert!(s.sends_by_process().is_empty());
+        assert!(s.snapshot().to_json().starts_with('{'));
     }
 
     #[test]
@@ -178,5 +283,28 @@ mod tests {
             s.record_send("decision", ProcessId(1));
         }
         assert_eq!(s.send_skew(), 2);
+    }
+
+    #[test]
+    fn registry_mirrors_the_ledger() {
+        let mut s = Stats::new();
+        s.record_send("decision", ProcessId(3));
+        s.record_dropped("join");
+        assert_eq!(s.registry().counter_value("sends.decision"), 1);
+        assert_eq!(s.registry().counter_value("dropped.join"), 1);
+        assert_eq!(s.registry().counter_value("sends.by_process.3"), 1);
+        let json = s.snapshot().to_json();
+        assert!(json.contains("\"sends.decision\":1"), "{json}");
+    }
+
+    #[test]
+    fn clone_is_a_deep_copy() {
+        let mut s = Stats::new();
+        s.record_send("decision", ProcessId(0));
+        let c = s.clone();
+        s.record_send("decision", ProcessId(0));
+        assert_eq!(s.kind("decision").sends, 2);
+        assert_eq!(c.kind("decision").sends, 1);
+        assert_eq!(c.send_skew(), 0);
     }
 }

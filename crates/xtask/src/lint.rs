@@ -128,6 +128,7 @@ pub const SCOPED_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/clock/src",
     "crates/sim/src",
+    "crates/obs/src",
 ];
 
 /// One lint finding.

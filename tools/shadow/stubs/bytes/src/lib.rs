@@ -70,6 +70,12 @@ impl From<Vec<u8>> for Bytes {
     }
 }
 
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Self {
         Bytes::copy_from_slice(s)
@@ -152,6 +158,11 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
+    }
+
+    /// Append a slice (inherent on the real `BytesMut` too).
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
     }
 }
 

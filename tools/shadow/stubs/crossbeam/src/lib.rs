@@ -1,0 +1,291 @@
+//! Offline stub of the `crossbeam` API surface this workspace uses:
+//! `channel::{unbounded, Sender, Receiver}`, the channel error types, and
+//! a polling `select!` limited to the two-receivers-plus-default shape the
+//! runtime's event loop relies on. Semantics match crossbeam where the
+//! workspace can observe them (MPMC, disconnect on last sender/receiver
+//! drop); performance does not need to.
+
+/// Channel types mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        q: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Sending half of an unbounded MPMC channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of an unbounded MPMC channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// The channel is disconnected (all receivers dropped).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Outcome of a bounded-wait receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with nothing queued.
+        Timeout,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                q: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a value; fails if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.lock();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.q.push_back(value);
+            drop(st);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.q.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .0
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive attempt.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.lock();
+            match st.q.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.q.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
+        }
+    }
+
+    pub use crate::select;
+}
+
+/// Polling stand-in for `crossbeam::channel::select!`, restricted to the
+/// one shape this workspace uses: two `recv` arms plus a `default`
+/// timeout. The arm bodies see the same `Result<T, RecvError>` binding
+/// the real macro provides.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $b1:expr,
+        recv($r2:expr) -> $p2:pat => $b2:expr,
+        default($d:expr) => $bd:expr $(,)?
+    ) => {{
+        let deadline = ::std::time::Instant::now() + $d;
+        loop {
+            match $r1.try_recv() {
+                ::std::result::Result::Ok(v) => {
+                    let $p1: ::std::result::Result<_, $crate::channel::RecvError> =
+                        ::std::result::Result::Ok(v);
+                    break $b1;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    let $p1: ::std::result::Result<_, $crate::channel::RecvError> =
+                        ::std::result::Result::Err($crate::channel::RecvError);
+                    break $b1;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $r2.try_recv() {
+                ::std::result::Result::Ok(v) => {
+                    let $p2: ::std::result::Result<_, $crate::channel::RecvError> =
+                        ::std::result::Result::Ok(v);
+                    break $b2;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    let $p2: ::std::result::Result<_, $crate::channel::RecvError> =
+                        ::std::result::Result::Err($crate::channel::RecvError);
+                    break $b2;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            if ::std::time::Instant::now() >= deadline {
+                break $bd;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn try_recv_empty_then_disconnected() {
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(1));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_macro_drains_and_times_out() {
+        let (tx1, rx1) = unbounded::<i32>();
+        let (_tx2, rx2) = unbounded::<i32>();
+        tx1.send(5).unwrap();
+        let mut got = None;
+        crate::select! {
+            recv(rx1) -> m => got = m.ok(),
+            recv(rx2) -> m => got = m.ok(),
+            default(Duration::from_millis(5)) => {}
+        }
+        assert_eq!(got, Some(5));
+        let mut timed_out = false;
+        crate::select! {
+            recv(rx1) -> m => { let _ = m; },
+            recv(rx2) -> m => { let _ = m; },
+            default(Duration::from_millis(5)) => timed_out = true,
+        }
+        assert!(timed_out);
+    }
+}
