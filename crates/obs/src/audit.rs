@@ -29,20 +29,62 @@
 //!
 //! Violations accumulate; they are never dropped. [`SharedAuditor`]
 //! wraps the auditor for use as a live [`TraceSink`] behind the tracer
-//! of every node in a cluster.
+//! of every node in a cluster. Wiring a metrics [`Registry`] into the
+//! auditor additionally exposes each check as a
+//! `tw_audit_violations_total.<check>` counter, so live deployments can
+//! alarm on invariant violations instead of only seeing them in test
+//! assertions.
 
+use crate::metrics::Registry;
 use crate::trace::{TraceEvent, TraceSink};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use tw_proto::{AckBits, Ordinal, ProcessId, ProposalId, SyncTime, ViewId};
 
-/// A single invariant violation, rendered as a human-readable sentence.
+/// Every check the auditor (and the offline cross-node analyzer) can
+/// flag. Wiring a registry pre-registers one counter per check at zero,
+/// so dashboards see the metric before anything goes wrong.
+pub const AUDIT_CHECKS: &[&str] = &[
+    "duplicate-delivery",
+    "fifo",
+    "time-order",
+    "total-order",
+    "ordinal-prefix",
+    "minority-view",
+    "view-agreement",
+    "competing-groups",
+    "view-overlap",
+    "oal-prefix",
+    "clock-alignment",
+];
+
+/// Metric-name prefix for per-check violation counters.
+pub const AUDIT_COUNTER_PREFIX: &str = "tw_audit_violations_total";
+
+/// A single invariant violation: which check fired, and a
+/// human-readable sentence saying why.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation(pub String);
+pub struct Violation {
+    /// Stable check label (one of [`AUDIT_CHECKS`]); doubles as the
+    /// metric key suffix.
+    pub check: &'static str,
+    /// What happened, as a sentence.
+    pub message: String,
+}
+
+impl Violation {
+    /// A violation of `check` described by `message`.
+    pub fn new(check: &'static str, message: impl Into<String>) -> Self {
+        Violation {
+            check,
+            message: message.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        write!(f, "[{}] {}", self.check, self.message)
     }
 }
 
@@ -65,6 +107,9 @@ pub struct Auditor {
     /// Per observer, per view: last delivered ordinal (prefix property).
     last_ordinal: BTreeMap<(ProcessId, ViewId), Ordinal>,
     violations: Vec<Violation>,
+    /// Optional metrics registry; when wired, every flag also bumps
+    /// `tw_audit_violations_total.<check>`.
+    registry: Option<Arc<Registry>>,
 }
 
 impl Auditor {
@@ -80,11 +125,26 @@ impl Auditor {
             order: BTreeMap::new(),
             last_ordinal: BTreeMap::new(),
             violations: Vec::new(),
+            registry: None,
         }
     }
 
-    fn flag(&mut self, msg: String) {
-        self.violations.push(Violation(msg));
+    /// Expose violations as counters in `registry`: one
+    /// `tw_audit_violations_total.<check>` per known check, all
+    /// pre-registered at zero so the metrics exist before anything
+    /// fires.
+    pub fn wire_registry(&mut self, registry: Arc<Registry>) {
+        for check in AUDIT_CHECKS {
+            registry.counter(&format!("{AUDIT_COUNTER_PREFIX}.{check}"));
+        }
+        self.registry = Some(registry);
+    }
+
+    fn flag(&mut self, check: &'static str, msg: String) {
+        if let Some(reg) = &self.registry {
+            reg.counter(&format!("{AUDIT_COUNTER_PREFIX}.{check}")).inc();
+        }
+        self.violations.push(Violation::new(check, msg));
     }
 
     /// Feed one trace event into the checker.
@@ -116,7 +176,7 @@ impl Auditor {
         view: ViewId,
     ) {
         if !self.seen.entry(pid).or_default().insert(id) {
-            self.flag(format!("{pid} delivered {id} twice"));
+            self.flag("duplicate-delivery", format!("{pid} delivered {id} twice"));
         }
 
         let slot = self
@@ -130,19 +190,25 @@ impl Auditor {
             *slot = id.seq;
         }
         if id.seq <= prev_seq {
-            self.flag(format!(
-                "{pid} violated FIFO: delivered {id} after seq {prev_seq} from {}",
-                id.proposer
-            ));
+            self.flag(
+                "fifo",
+                format!(
+                    "{pid} violated FIFO: delivered {id} after seq {prev_seq} from {}",
+                    id.proposer
+                ),
+            );
         }
 
         if semantics.ordering == tw_proto::Ordering::Time {
             let prev = self.time_order.get(&pid).copied();
             if let Some(prev) = prev {
                 if send_ts < prev {
-                    self.flag(format!(
-                        "{pid} delivered time-ordered {id} (send_ts {send_ts:?}) after {prev:?}"
-                    ));
+                    self.flag(
+                        "time-order",
+                        format!(
+                            "{pid} delivered time-ordered {id} (send_ts {send_ts:?}) after {prev:?}"
+                        ),
+                    );
                 }
             }
             let e = self.time_order.entry(pid).or_insert(send_ts);
@@ -153,22 +219,29 @@ impl Auditor {
 
         if semantics.ordering == tw_proto::Ordering::Total {
             match ordinal {
-                None => self.flag(format!(
-                    "{pid} delivered total-ordered {id} without an ordinal"
-                )),
+                None => self.flag(
+                    "total-order",
+                    format!("{pid} delivered total-ordered {id} without an ordinal"),
+                ),
                 Some(ord) => {
                     let bound = *self.order.entry((view, ord)).or_insert(id);
                     if bound != id {
-                        self.flag(format!(
-                            "total order disagreement at {view:?} ordinal {ord:?}: {bound} vs {id}"
-                        ));
+                        self.flag(
+                            "total-order",
+                            format!(
+                                "total order disagreement at {view:?} ordinal {ord:?}: {bound} vs {id}"
+                            ),
+                        );
                     }
                     let prev = self.last_ordinal.get(&(pid, view)).copied();
                     if let Some(prev) = prev {
                         if ord <= prev {
-                            self.flag(format!(
-                                "{pid} delivered ordinal {ord:?} after {prev:?} in {view:?}"
-                            ));
+                            self.flag(
+                                "ordinal-prefix",
+                                format!(
+                                    "{pid} delivered ordinal {ord:?} after {prev:?} in {view:?}"
+                                ),
+                            );
                         }
                     }
                     let e = self.last_ordinal.entry((pid, view)).or_insert(ord);
@@ -182,11 +255,14 @@ impl Auditor {
 
     fn on_view_installed(&mut self, pid: ProcessId, view: ViewId, members: AckBits) {
         if members.count() * 2 <= self.team {
-            self.flag(format!(
-                "{pid} installed non-majority view {view:?} ({} of {})",
-                members.count(),
-                self.team
-            ));
+            self.flag(
+                "minority-view",
+                format!(
+                    "{pid} installed non-majority view {view:?} ({} of {})",
+                    members.count(),
+                    self.team
+                ),
+            );
         }
         match self.installed.get(&view).copied() {
             None => {
@@ -194,10 +270,13 @@ impl Auditor {
                 let other = self.completed_by_seq.get(&view.seq).copied();
                 match other {
                     Some(other) if other != view => {
-                        self.flag(format!(
-                            "two completed majority groups at seq {}: {other:?} and {view:?}",
-                            view.seq
-                        ));
+                        self.flag(
+                            "competing-groups",
+                            format!(
+                                "two completed majority groups at seq {}: {other:?} and {view:?}",
+                                view.seq
+                            ),
+                        );
                     }
                     Some(_) => {}
                     None => {
@@ -206,9 +285,12 @@ impl Auditor {
                 }
             }
             Some(first) if first != members => {
-                self.flag(format!(
-                    "view agreement broken for {view:?}: {pid} installed members {members:?}, first installer saw {first:?}"
-                ));
+                self.flag(
+                    "view-agreement",
+                    format!(
+                        "view agreement broken for {view:?}: {pid} installed members {members:?}, first installer saw {first:?}"
+                    ),
+                );
             }
             Some(_) => {}
         }
@@ -230,7 +312,7 @@ impl Auditor {
             let mut report = String::from("invariant auditor found violations:\n");
             for v in &self.violations {
                 report.push_str("  - ");
-                report.push_str(&v.0);
+                report.push_str(&v.to_string());
                 report.push('\n');
             }
             panic!("{report}");
@@ -249,6 +331,12 @@ impl SharedAuditor {
     /// New shared auditor for a team of `team` members.
     pub fn new(team: usize) -> Self {
         SharedAuditor(Arc::new(Mutex::new(Auditor::new(team))))
+    }
+
+    /// Expose violations as counters in `registry` (see
+    /// [`Auditor::wire_registry`]).
+    pub fn wire_registry(&self, registry: Arc<Registry>) {
+        self.lock().wire_registry(registry);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Auditor> {
@@ -321,7 +409,8 @@ mod tests {
         a.observe(&delivered(0, 1, 1));
         a.observe(&delivered(0, 1, 1));
         assert_eq!(a.violations().len(), 2); // duplicate + FIFO regression
-        assert!(a.violations()[0].0.contains("twice"));
+        assert_eq!(a.violations()[0].check, "duplicate-delivery");
+        assert!(a.violations()[0].message.contains("twice"));
     }
 
     #[test]
@@ -329,7 +418,7 @@ mod tests {
         let mut a = Auditor::new(3);
         a.observe(&delivered(0, 1, 2));
         a.observe(&delivered(0, 1, 1));
-        assert!(a.violations().iter().any(|v| v.0.contains("FIFO")));
+        assert!(a.violations().iter().any(|v| v.check == "fifo"));
     }
 
     #[test]
@@ -341,7 +430,8 @@ mod tests {
             view: ViewId::new(2, ProcessId(0)),
             members: AckBits(0b11),
         });
-        assert!(a.violations()[0].0.contains("non-majority"));
+        assert_eq!(a.violations()[0].check, "minority-view");
+        assert!(a.violations()[0].message.contains("non-majority"));
     }
 
     #[test]
@@ -362,7 +452,32 @@ mod tests {
         assert!(a
             .violations()
             .iter()
-            .any(|v| v.0.contains("total order disagreement")));
+            .any(|v| v.check == "total-order" && v.message.contains("disagreement")));
+    }
+
+    #[test]
+    fn wired_registry_counts_violations_per_check() {
+        let registry = Arc::new(Registry::new());
+        let mut a = Auditor::new(3);
+        a.wire_registry(registry.clone());
+        // Pre-registered at zero, present in the snapshot before any
+        // violation.
+        let snap = registry.snapshot();
+        for check in AUDIT_CHECKS {
+            let key = format!("{AUDIT_COUNTER_PREFIX}.{check}");
+            assert_eq!(snap.counter(&key), 0, "{key} not pre-registered");
+        }
+        a.observe(&delivered(0, 1, 1));
+        a.observe(&delivered(0, 1, 1)); // duplicate + FIFO regression
+        assert_eq!(
+            registry.counter_value("tw_audit_violations_total.duplicate-delivery"),
+            1
+        );
+        assert_eq!(registry.counter_value("tw_audit_violations_total.fifo"), 1);
+        assert_eq!(
+            registry.counter_value("tw_audit_violations_total.minority-view"),
+            0
+        );
     }
 
     #[test]
@@ -372,6 +487,6 @@ mod tests {
         sink.record(&delivered(0, 1, 1));
         sink.record(&delivered(0, 1, 1));
         assert!(!shared.ok());
-        assert!(shared.violations()[0].0.contains("twice"));
+        assert!(shared.violations()[0].message.contains("twice"));
     }
 }

@@ -25,31 +25,57 @@
 //!   membership/broadcast invariants (no duplicate deliveries, FIFO and
 //!   time order, total-order agreement, majority views, view agreement)
 //!   online, so soak and runtime tests can assert correctness from
-//!   telemetry alone.
+//!   telemetry alone. Wiring a [`Registry`] into the auditor exports a
+//!   `tw_audit_violations_total.<check>` counter per invariant.
+//! * [`recorder`] / [`recording`] — a crash-safe [`FlightRecorder`]
+//!   sink that spills CRC-framed segments of wire-encoded events to a
+//!   per-node file (the node's *black box*), and the loader that reads
+//!   them back tolerating torn tails: everything before the damage
+//!   loads, damage is reported, never fatal.
+//! * [`analyze`] — offline cross-node correlation: merges per-node
+//!   recordings on the synchronized clock (ε as the fuzz bound),
+//!   reconstructs decision / recovery / reconfiguration spans with
+//!   per-phase latency attribution, renders an ASCII global timeline,
+//!   and re-audits the merged stream with checks (majority-view
+//!   overlap, oal-prefix agreement) a single live stream cannot make.
+//!   The `tw-trace` binary is the CLI over this module.
 //!
 //! The crate depends only on the wire vocabulary ([`tw_proto`]); the
 //! protocol core, the simulator and the runtime all layer it in without
 //! cycles. Everything here obeys the workspace determinism lint: no
 //! wall-clock reads, no ambient randomness, no hash-ordered containers,
-//! no floats.
+//! no floats. File I/O is confined to the recorder/recording modules
+//! and the analyzer binary, each annotated for the lint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod audit;
 pub mod codec;
 pub mod metrics;
+pub mod recorder;
+pub mod recording;
 pub mod trace;
 
-pub use audit::{Auditor, SharedAuditor, Violation};
+pub use analyze::{
+    analyze, render_timeline, Analysis, DecisionSpan, ReconfigSpan, RecoverySpan, TimelineOptions,
+    TraceSet,
+};
+pub use audit::{Auditor, SharedAuditor, Violation, AUDIT_CHECKS, AUDIT_COUNTER_PREFIX};
 pub use metrics::{
     Counter, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_US,
 };
-pub use trace::{ClockStamp, TraceEvent, TraceSink, Tracer, VecSink};
+pub use recorder::{FlightRecorder, FlushGuard, RecorderConfig};
+pub use recording::{Damage, LoadError, Recording};
+pub use trace::{ClockStamp, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::analyze::{analyze, Analysis, TraceSet};
     pub use crate::audit::{Auditor, SharedAuditor, Violation};
     pub use crate::metrics::{Counter, Histogram, Registry, Snapshot};
-    pub use crate::trace::{ClockStamp, TraceEvent, TraceSink, Tracer, VecSink};
+    pub use crate::recorder::{FlightRecorder, RecorderConfig};
+    pub use crate::recording::Recording;
+    pub use crate::trace::{ClockStamp, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
 }

@@ -9,8 +9,12 @@
 //! determinism lint protects everywhere else in the workspace.
 //!
 //! Histogram values are integer microseconds: bucket bounds, counts and
-//! sums are all `u64`, keeping the crate free of floating point (means
-//! or percentiles are a consumer-side division).
+//! sums are all `u64`, keeping the crate free of floating point. Even
+//! the percentile summaries in snapshots ([`HistogramSnapshot::quantile`]
+//! and the `p50`/`p95`/`p99` JSON fields) are integer rank arithmetic
+//! over the buckets: a quantile is reported as the upper bound of the
+//! bucket containing its rank — a deterministic upper estimate, never an
+//! interpolation.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -240,6 +244,32 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The `num/den` quantile (e.g. `quantile(95, 100)` for p95) as the
+    /// inclusive upper bound of the bucket holding that rank.
+    ///
+    /// Integer-only by design: the rank is `ceil(count · num / den)`
+    /// (computed in `u128`, so it cannot overflow), and the answer is a
+    /// bucket *bound*, not an interpolated value — an upper estimate
+    /// with error bounded by the bucket width. Returns `None` when the
+    /// histogram is empty or the rank falls in the overflow bucket
+    /// (above every finite bound, so no finite estimate exists).
+    pub fn quantile(&self, num: u64, den: u64) -> Option<u64> {
+        if self.count == 0 || den == 0 {
+            return None;
+        }
+        let num = self.count as u128 * num as u128;
+        let den = den as u128;
+        let rank = ((num + den - 1) / den).max(1);
+        let mut seen: u128 = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += *b as u128;
+            if seen >= rank {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+
     fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         let same_shape = earlier.bounds == self.bounds;
         HistogramSnapshot {
@@ -338,6 +368,14 @@ impl Snapshot {
             push_json_u64s(&mut out, &h.buckets);
             out.push_str(",\"count\":");
             out.push_str(&h.count.to_string());
+            for (label, num) in [("p50", 50u64), ("p95", 95), ("p99", 99)] {
+                if let Some(q) = h.quantile(num, 100) {
+                    out.push_str(",\"");
+                    out.push_str(label);
+                    out.push_str("\":");
+                    out.push_str(&q.to_string());
+                }
+            }
             out.push_str(",\"sum\":");
             out.push_str(&h.sum.to_string());
             out.push('}');
@@ -444,10 +482,53 @@ mod tests {
         assert_eq!(
             j,
             "{\"counters\":{\"a\":2,\"z\":1},\"histograms\":{\"lat\":{\"bounds\":[5,50],\
-             \"buckets\":[0,1,0],\"count\":1,\"sum\":7}}}"
+             \"buckets\":[0,1,0],\"count\":1,\"p50\":50,\"p95\":50,\"p99\":50,\"sum\":7}}}"
         );
         // Stable across snapshots.
         assert_eq!(j, r.snapshot().to_json());
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new(&[10, 100, 1_000]);
+        for _ in 0..50 {
+            h.record(5); // bucket ≤10
+        }
+        for _ in 0..45 {
+            h.record(50); // bucket ≤100
+        }
+        for _ in 0..5 {
+            h.record(500); // bucket ≤1000
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(50, 100), Some(10)); // rank 50 is the last ≤10
+        assert_eq!(s.quantile(95, 100), Some(100)); // rank 95 is the last ≤100
+        assert_eq!(s.quantile(99, 100), Some(1_000));
+        assert_eq!(s.quantile(100, 100), Some(1_000));
+    }
+
+    #[test]
+    fn quantiles_of_empty_or_overflowed_histograms_are_absent() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.snapshot().quantile(50, 100), None);
+        // Everything above the last bound: no finite estimate, and the
+        // JSON omits the percentile keys rather than inventing a bound.
+        h.record(11);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(50, 100), None);
+        let r = Registry::new();
+        let rh = r.histogram("over", &[10]);
+        rh.record(11);
+        let j = r.snapshot().to_json();
+        assert!(!j.contains("p50"), "{j}");
+        // A mixed histogram still reports the quantiles that resolve.
+        rh.record(1);
+        let s = r.snapshot();
+        assert_eq!(s.histograms["over"].quantile(50, 100), Some(10));
+        assert_eq!(s.histograms["over"].quantile(99, 100), None);
+        let j = s.to_json();
+        assert!(j.contains("\"p50\":10"), "{j}");
+        assert!(!j.contains("p99"), "{j}");
     }
 
     #[test]

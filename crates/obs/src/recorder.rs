@@ -1,0 +1,398 @@
+//! Crash-safe flight recorder: a bounded in-memory event buffer that
+//! spills CRC-framed segments of wire-encoded trace events to a per-node
+//! recording file.
+//!
+//! The recorder is the durable counterpart of [`crate::trace::VecSink`]:
+//! it implements [`TraceSink`], so a member's tracer can feed it
+//! directly, but instead of growing without bound it buffers at most
+//! `capacity` events and appends them to disk as one *segment* whenever
+//! the buffer fills (or on an explicit [`FlightRecorder::flush`], which
+//! hosts call at view installations and on shutdown/panic via a drop
+//! guard). A node that dies mid-run therefore leaves a black box whose
+//! only possible damage is a torn final segment — which the reader
+//! ([`crate::recording`]) detects by CRC and skips, never losing the
+//! frames before it.
+//!
+//! ## File format (`TWFR` version 1)
+//!
+//! ```text
+//! header  : magic b"TWFR0001" · pid u16 LE · team u16 LE · epsilon_us i64 LE
+//! segment*: len u32 LE · crc32 u32 LE · payload[len]
+//! ```
+//!
+//! The payload of a segment is a concatenation of [`TraceEvent`] wire
+//! frames (`tag · len · payload`, [`crate::codec`]) — the exact bytes a
+//! live exporter would ship, so recordings and network streams share one
+//! vocabulary. `crc32` is CRC-32/ISO-HDLC over the payload bytes. The
+//! header carries the emitting process, the team size and the clock-sync
+//! deviation bound ε at recording time, so the offline analyzer can
+//! align recordings from different nodes without out-of-band
+//! configuration.
+
+// tw-lint: allow-file(actor-io) -- the flight recorder IS the module that owns
+// file I/O: it runs host-side (behind a TraceSink), never inside a simulated
+// actor, and persistence is its entire purpose.
+
+use crate::trace::{TraceEvent, TraceSink};
+use bytes::BytesMut;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tw_proto::codec::Encode;
+use tw_proto::{Duration, ProcessId};
+
+/// File magic + format version, the first 8 bytes of every recording.
+pub const FILE_MAGIC: &[u8; 8] = b"TWFR0001";
+/// Total header length: magic, pid, team, epsilon.
+pub const HEADER_LEN: usize = 8 + 2 + 2 + 8;
+/// Per-segment framing overhead: length and CRC words.
+pub const SEGMENT_OVERHEAD: usize = 4 + 4;
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ *b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Static parameters of one recording, written into its header.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// The recorded member's process id.
+    pub pid: ProcessId,
+    /// Team size N (so the analyzer can audit majorities offline).
+    pub team: usize,
+    /// The clock-sync deviation bound ε the team ran with — the fuzz
+    /// bound the analyzer uses when aligning recordings on synchronized
+    /// time.
+    pub epsilon: Duration,
+    /// Events buffered in memory before a segment is spilled. Bounds
+    /// both memory use and the worst-case loss window on a hard crash.
+    pub capacity: usize,
+}
+
+impl RecorderConfig {
+    /// A recorder for `pid` in a team of `team` with deviation bound
+    /// `epsilon`, using the default buffer capacity (1024 events).
+    pub fn new(pid: ProcessId, team: usize, epsilon: Duration) -> Self {
+        RecorderConfig {
+            pid,
+            team,
+            epsilon,
+            capacity: 1024,
+        }
+    }
+
+    /// Override the buffer capacity.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+}
+
+struct Inner {
+    buf: Vec<TraceEvent>,
+    writer: BufWriter<File>,
+    /// Events persisted to disk so far.
+    spilled_events: u64,
+    /// Segments written so far.
+    segments: u64,
+    /// First I/O error encountered; once set, the recorder goes inert
+    /// (a sink must never panic the protocol thread).
+    error: Option<std::io::Error>,
+}
+
+/// A crash-safe, file-backed [`TraceSink`]. See the module docs for the
+/// format and the durability contract.
+pub struct FlightRecorder {
+    cfg: RecorderConfig,
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// Create (truncating) the recording file at `path` and write its
+    /// header. The returned recorder is ready to use as a sink.
+    pub fn create(path: impl AsRef<Path>, cfg: RecorderConfig) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(FILE_MAGIC)?;
+        writer.write_all(&(cfg.pid.0).to_le_bytes())?;
+        writer.write_all(&(cfg.team.min(u16::MAX as usize) as u16).to_le_bytes())?;
+        writer.write_all(&cfg.epsilon.as_micros().to_le_bytes())?;
+        writer.flush()?;
+        Ok(FlightRecorder {
+            cfg,
+            path,
+            inner: Mutex::new(Inner {
+                buf: Vec::with_capacity(cfg.capacity),
+                writer,
+                spilled_events: 0,
+                segments: 0,
+                error: None,
+            }),
+        })
+    }
+
+    /// The recording file this recorder appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The recorder's static parameters.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn spill(inner: &mut Inner) {
+        if inner.buf.is_empty() || inner.error.is_some() {
+            inner.buf.clear();
+            return;
+        }
+        let mut payload = BytesMut::with_capacity(inner.buf.len() * 32);
+        for ev in &inner.buf {
+            ev.encode(&mut payload);
+        }
+        let crc = crc32(&payload);
+        let write = (|| -> std::io::Result<()> {
+            let w = &mut inner.writer;
+            w.write_all(&(payload.len() as u32).to_le_bytes())?;
+            w.write_all(&crc.to_le_bytes())?;
+            w.write_all(&payload)?;
+            w.flush()
+        })();
+        match write {
+            Ok(()) => {
+                inner.spilled_events += inner.buf.len() as u64;
+                inner.segments += 1;
+            }
+            Err(e) => inner.error = Some(e),
+        }
+        inner.buf.clear();
+    }
+
+    /// Persist everything buffered so far as one segment and flush the
+    /// file. Called by hosts at view installations and from the shutdown
+    /// / panic drop guard; cheap when the buffer is empty.
+    pub fn flush(&self) {
+        let mut inner = self.lock();
+        Self::spill(&mut inner);
+    }
+
+    /// Events persisted to disk so far (excludes the in-memory buffer).
+    pub fn spilled_events(&self) -> u64 {
+        self.lock().spilled_events
+    }
+
+    /// Segments written so far.
+    pub fn segments(&self) -> u64 {
+        self.lock().segments
+    }
+
+    /// The first I/O error encountered, if the recorder went inert.
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        self.lock().error.take()
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, ev: &TraceEvent) {
+        let mut inner = self.lock();
+        inner.buf.push(*ev);
+        // Spill when full — and at every view installation, so the
+        // on-disk recording is always current through the last
+        // membership change even if the host dies without unwinding.
+        if inner.buf.len() >= self.cfg.capacity
+            || matches!(ev, TraceEvent::ViewInstalled { .. })
+        {
+            Self::spill(&mut inner);
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Flushes a recorder when dropped — a guard a host thread holds so the
+/// recording survives panics.
+///
+/// The recorder's own `Drop` only runs when the *last* `Arc` goes away;
+/// a node handle usually keeps one alive, so a panicking executor thread
+/// would not flush the tail on unwind. Holding a `FlushGuard` on the
+/// executor's stack closes that gap: unwinding drops the guard, the
+/// guard flushes. Cheap when the buffer is already empty.
+pub struct FlushGuard(Option<Arc<FlightRecorder>>);
+
+impl FlushGuard {
+    /// Guard `recorder` (a `None` guard is a no-op, so hosts can hold
+    /// one unconditionally).
+    pub fn new(recorder: Option<Arc<FlightRecorder>>) -> Self {
+        FlushGuard(recorder)
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        if let Some(r) = &self.0 {
+            r.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("FlightRecorder")
+            .field("path", &self.path)
+            .field("pid", &self.cfg.pid)
+            .field("buffered", &inner.buf.len())
+            .field("spilled_events", &inner.spilled_events)
+            .field("segments", &inner.segments)
+            .field("errored", &inner.error.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recording::Recording;
+    use crate::trace::ClockStamp;
+    use tw_proto::{HwTime, SyncTime, ViewId};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tw-obs-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn ev(i: i64) -> TraceEvent {
+        TraceEvent::DecisionSent {
+            pid: ProcessId(1),
+            at: ClockStamp {
+                hw: HwTime(i),
+                sync: SyncTime(i + 2),
+            },
+            send_ts: SyncTime(i + 2),
+            view: ViewId::new(3, ProcessId(0)),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // CRC-32/ISO-HDLC check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn events_roundtrip_through_a_recording_file() {
+        let path = tmp("roundtrip.twrec");
+        let cfg = RecorderConfig::new(ProcessId(1), 5, Duration::from_micros(250)).capacity(4);
+        let rec = FlightRecorder::create(&path, cfg).unwrap();
+        for i in 0..10 {
+            rec.record(&ev(i));
+        }
+        rec.flush();
+        // 10 events, capacity 4: two full segments + one flushed tail.
+        assert_eq!(rec.segments(), 3);
+        assert_eq!(rec.spilled_events(), 10);
+
+        let loaded = Recording::load(&path).unwrap();
+        assert_eq!(loaded.pid, ProcessId(1));
+        assert_eq!(loaded.team, 5);
+        assert_eq!(loaded.epsilon, Duration::from_micros(250));
+        assert_eq!(loaded.events, (0..10).map(ev).collect::<Vec<_>>());
+        assert!(loaded.damage.is_none());
+    }
+
+    #[test]
+    fn view_install_forces_a_spill() {
+        let path = tmp("viewspill.twrec");
+        let cfg = RecorderConfig::new(ProcessId(0), 3, Duration::ZERO).capacity(1000);
+        let rec = FlightRecorder::create(&path, cfg).unwrap();
+        rec.record(&ev(1));
+        assert_eq!(rec.segments(), 0, "plain events buffer");
+        rec.record(&TraceEvent::ViewInstalled {
+            pid: ProcessId(0),
+            at: ClockStamp {
+                hw: HwTime(5),
+                sync: SyncTime(6),
+            },
+            view: ViewId::new(2, ProcessId(0)),
+            members: tw_proto::AckBits(0b111),
+        });
+        assert_eq!(rec.segments(), 1, "view install must reach disk");
+        assert_eq!(rec.spilled_events(), 2);
+    }
+
+    #[test]
+    fn flush_guard_flushes_while_other_arcs_live() {
+        let path = tmp("guard.twrec");
+        let cfg = RecorderConfig::new(ProcessId(0), 3, Duration::ZERO).capacity(100);
+        let rec = Arc::new(FlightRecorder::create(&path, cfg).unwrap());
+        let keepalive = rec.clone(); // the "node handle"
+        {
+            let _guard = FlushGuard::new(Some(rec.clone()));
+            rec.record(&ev(3));
+        } // guard drops here; recorder itself stays alive
+        assert_eq!(keepalive.spilled_events(), 1);
+        let loaded = Recording::load(&path).unwrap();
+        assert_eq!(loaded.events, vec![ev(3)]);
+    }
+
+    #[test]
+    fn drop_flushes_the_tail() {
+        let path = tmp("dropflush.twrec");
+        let cfg = RecorderConfig::new(ProcessId(0), 3, Duration::ZERO).capacity(100);
+        {
+            let rec = FlightRecorder::create(&path, cfg).unwrap();
+            rec.record(&ev(7));
+        } // dropped without an explicit flush
+        let loaded = Recording::load(&path).unwrap();
+        assert_eq!(loaded.events, vec![ev(7)]);
+    }
+
+    #[test]
+    fn empty_flush_writes_no_segment() {
+        let path = tmp("empty.twrec");
+        let cfg = RecorderConfig::new(ProcessId(0), 3, Duration::ZERO);
+        let rec = FlightRecorder::create(&path, cfg).unwrap();
+        rec.flush();
+        rec.flush();
+        assert_eq!(rec.segments(), 0);
+        drop(rec);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN as u64);
+        let loaded = Recording::load(&path).unwrap();
+        assert!(loaded.events.is_empty());
+        assert!(loaded.damage.is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Reading flight-recorder files back into event streams, tolerating
+//! torn tails.
+//!
+//! A recording written by [`crate::recorder::FlightRecorder`] may be
+//! damaged in exactly the ways a crash (or a corrupted copy) produces:
+//! a truncated final segment, or bytes flipped anywhere after the
+//! header. The loader's contract — the crash-consistency contract the
+//! property tests pin down — is:
+//!
+//! * every segment **before** the damage loads completely;
+//! * damage is *reported* ([`Damage`]), never fatal: the only hard
+//!   errors are an unreadable file or a broken header (without the
+//!   header there is no recording to speak of).
+//!
+//! Detection is structural (a segment length that overruns the file) or
+//! checksummed (CRC-32 mismatch over the payload). The loader does not
+//! try to resynchronize past damage: frame lengths are not
+//! self-delimiting under corruption, so anything after the first bad
+//! segment is untrusted by design.
+
+// tw-lint: allow-file(actor-io) -- the recording loader is the read side of the
+// flight recorder's file format; it runs in analyzers and tests, never inside a
+// simulated actor.
+
+use crate::recorder::{crc32, FILE_MAGIC, HEADER_LEN, SEGMENT_OVERHEAD};
+use crate::trace::TraceEvent;
+use bytes::Bytes;
+use std::fmt;
+use std::path::Path;
+use tw_proto::codec::Decode;
+use tw_proto::{Duration, ProcessId};
+
+/// Where and how a recording was damaged. The events of all segments
+/// before the damage are still in [`Recording::events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Damage {
+    /// The file ends in the middle of segment `index` (crash while
+    /// spilling, or a truncated copy).
+    TruncatedSegment {
+        /// Zero-based index of the damaged segment.
+        index: u64,
+    },
+    /// Segment `index` failed its CRC (bit rot, or a torn write that
+    /// happened to keep the length plausible).
+    CorruptSegment {
+        /// Zero-based index of the damaged segment.
+        index: u64,
+    },
+    /// Segment `index` passed its CRC but its payload did not parse as
+    /// trace frames — a writer bug or deliberate tampering.
+    UndecodableSegment {
+        /// Zero-based index of the damaged segment.
+        index: u64,
+    },
+}
+
+impl fmt::Display for Damage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Damage::TruncatedSegment { index } => {
+                write!(f, "segment {index} truncated (torn tail)")
+            }
+            Damage::CorruptSegment { index } => write!(f, "segment {index} failed CRC"),
+            Damage::UndecodableSegment { index } => {
+                write!(f, "segment {index} payload undecodable")
+            }
+        }
+    }
+}
+
+/// Why a file could not be opened as a recording at all.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file is shorter than a header or does not start with
+    /// [`FILE_MAGIC`].
+    BadHeader(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "reading recording: {e}"),
+            LoadError::BadHeader(why) => write!(f, "bad recording header: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// One node's recording, loaded back into memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recording {
+    /// The recorded member's process id (from the header).
+    pub pid: ProcessId,
+    /// Team size N at recording time (from the header; 0 if unknown).
+    pub team: usize,
+    /// The clock-sync deviation bound ε at recording time.
+    pub epsilon: Duration,
+    /// Every event from every intact segment, in write order.
+    pub events: Vec<TraceEvent>,
+    /// Segments that loaded completely.
+    pub intact_segments: u64,
+    /// The damage that ended the scan, if any.
+    pub damage: Option<Damage>,
+}
+
+impl Recording {
+    /// Load the recording at `path`. Damage after the header is
+    /// reported in [`Recording::damage`], not returned as an error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Recording, LoadError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        Recording::parse(&bytes)
+    }
+
+    /// Parse recording bytes (see [`Recording::load`]).
+    pub fn parse(bytes: &[u8]) -> Result<Recording, LoadError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(LoadError::BadHeader(format!(
+                "{} bytes is shorter than the {HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != FILE_MAGIC {
+            return Err(LoadError::BadHeader(
+                "missing TWFR0001 magic — not a flight recording".into(),
+            ));
+        }
+        let pid = ProcessId(u16::from_le_bytes([bytes[8], bytes[9]]));
+        let team = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+        let epsilon = Duration::from_micros(i64::from_le_bytes(
+            bytes[12..20].try_into().expect("8 header bytes"),
+        ));
+
+        let mut events = Vec::new();
+        let mut intact_segments = 0u64;
+        let mut damage = None;
+        let mut off = HEADER_LEN;
+        while off < bytes.len() {
+            let index = intact_segments;
+            if bytes.len() - off < SEGMENT_OVERHEAD {
+                damage = Some(Damage::TruncatedSegment { index });
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+            let start = off + SEGMENT_OVERHEAD;
+            if bytes.len() - start < len {
+                damage = Some(Damage::TruncatedSegment { index });
+                break;
+            }
+            let payload = &bytes[start..start + len];
+            if crc32(payload) != crc {
+                damage = Some(Damage::CorruptSegment { index });
+                break;
+            }
+            match decode_payload(payload) {
+                Some(mut evs) => events.append(&mut evs),
+                None => {
+                    damage = Some(Damage::UndecodableSegment { index });
+                    break;
+                }
+            }
+            intact_segments += 1;
+            off = start + len;
+        }
+
+        Ok(Recording {
+            pid,
+            team,
+            epsilon,
+            events,
+            intact_segments,
+            damage,
+        })
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<Vec<TraceEvent>> {
+    let mut buf = Bytes::from(payload.to_vec());
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        match TraceEvent::decode(&mut buf) {
+            Ok(ev) => out.push(ev),
+            Err(_) => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{FlightRecorder, RecorderConfig};
+    use crate::trace::{ClockStamp, TraceSink};
+    use std::path::PathBuf;
+    use tw_proto::{HwTime, SyncTime, ViewId};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tw-obs-recload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    // Not a ViewInstalled: the recorder force-spills on view installs,
+    // and these tests need exact capacity-driven segment layout.
+    fn ev(i: i64) -> TraceEvent {
+        TraceEvent::DecisionSent {
+            pid: ProcessId(2),
+            at: ClockStamp {
+                hw: HwTime(i),
+                sync: SyncTime(i + 1),
+            },
+            send_ts: SyncTime(i + 1),
+            view: ViewId::new(i as u64, ProcessId(0)),
+        }
+    }
+
+    fn written(n: i64, capacity: usize, name: &str) -> Vec<u8> {
+        let path = tmp(name);
+        let cfg = RecorderConfig::new(ProcessId(2), 3, Duration::from_micros(9)).capacity(capacity);
+        let rec = FlightRecorder::create(&path, cfg).unwrap();
+        for i in 0..n {
+            rec.record(&ev(i));
+        }
+        drop(rec);
+        std::fs::read(&path).unwrap()
+    }
+
+    #[test]
+    fn short_or_wrong_magic_is_a_header_error() {
+        assert!(matches!(
+            Recording::parse(b"TWFR"),
+            Err(LoadError::BadHeader(_))
+        ));
+        let mut bytes = written(2, 10, "magic.twrec");
+        bytes[0] = b'X';
+        assert!(matches!(
+            Recording::parse(&bytes),
+            Err(LoadError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_tail_keeps_earlier_segments() {
+        // 6 events, capacity 2 → three 2-event segments.
+        let bytes = written(6, 2, "torn.twrec");
+        // Cut in the middle of the last segment.
+        let cut = bytes.len() - 3;
+        let r = Recording::parse(&bytes[..cut]).unwrap();
+        assert_eq!(r.intact_segments, 2);
+        assert_eq!(r.events, (0..4).map(ev).collect::<Vec<_>>());
+        assert!(matches!(r.damage, Some(Damage::TruncatedSegment { index: 2 })));
+    }
+
+    #[test]
+    fn corrupt_middle_segment_stops_the_scan_there() {
+        let bytes = written(6, 2, "corrupt.twrec");
+        let mut bytes = bytes;
+        // Flip a byte inside the second segment's payload. Segment
+        // layout after the header: [len 4][crc 4][payload ...].
+        let seg0_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+        let seg1_payload_start = 20 + 8 + seg0_len + 8;
+        bytes[seg1_payload_start + 1] ^= 0xff;
+        let r = Recording::parse(&bytes).unwrap();
+        assert_eq!(r.intact_segments, 1);
+        assert_eq!(r.events, (0..2).map(ev).collect::<Vec<_>>());
+        assert!(matches!(r.damage, Some(Damage::CorruptSegment { index: 1 })));
+    }
+
+    #[test]
+    fn damage_displays_human_readably() {
+        assert!(Damage::TruncatedSegment { index: 3 }
+            .to_string()
+            .contains("torn tail"));
+        assert!(Damage::CorruptSegment { index: 0 }.to_string().contains("CRC"));
+        assert!(Damage::UndecodableSegment { index: 1 }
+            .to_string()
+            .contains("undecodable"));
+    }
+}

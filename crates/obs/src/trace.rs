@@ -303,6 +303,32 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Fans every event out to several sinks, in order — e.g. a node's
+/// flight recorder plus a cluster-wide live auditor.
+#[derive(Default)]
+pub struct TeeSink(Vec<Arc<dyn TraceSink>>);
+
+impl TeeSink {
+    /// A tee over `sinks`, invoked in the given order.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        TeeSink(sinks)
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, ev: &TraceEvent) {
+        for sink in &self.0 {
+            sink.record(ev);
+        }
+    }
+}
+
+impl fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TeeSink({} sinks)", self.0.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +371,20 @@ mod tests {
         assert_eq!(evs[1].pid(), None);
         assert_eq!(sink.take().len(), 2);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_every_sink() {
+        let a = Arc::new(VecSink::new());
+        let b = Arc::new(VecSink::new());
+        let tee = TeeSink::new(vec![
+            a.clone() as Arc<dyn TraceSink>,
+            b.clone() as Arc<dyn TraceSink>,
+        ]);
+        let t = Tracer::new(Arc::new(tee));
+        t.emit(sample);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn doctored_duplicate_delivery_is_flagged() {
     let a = audit(&evs);
     assert!(!a.ok(), "auditor accepted a duplicate delivery");
     assert!(
-        a.violations().iter().any(|v| v.0.contains("twice")),
+        a.violations().iter().any(|v| v.message.contains("twice")),
         "missing duplicate violation: {:?}",
         a.violations()
     );
@@ -100,7 +100,7 @@ fn doctored_minority_view_is_flagged() {
     let a = audit(&evs);
     assert!(!a.ok(), "auditor accepted a minority view");
     assert!(
-        a.violations().iter().any(|v| v.0.contains("non-majority")),
+        a.violations().iter().any(|v| v.check == "minority-view"),
         "missing minority violation: {:?}",
         a.violations()
     );
@@ -113,7 +113,7 @@ fn doctored_fifo_inversion_is_flagged() {
     evs.push(delivered(0, 1, 1, Semantics::UNORDERED_WEAK, 200));
     let a = audit(&evs);
     assert!(
-        a.violations().iter().any(|v| v.0.contains("FIFO")),
+        a.violations().iter().any(|v| v.check == "fifo"),
         "missing FIFO violation: {:?}",
         a.violations()
     );
@@ -140,7 +140,7 @@ fn doctored_total_order_conflict_is_flagged() {
     assert!(
         a.violations()
             .iter()
-            .any(|v| v.0.contains("total order disagreement")),
+            .any(|v| v.check == "total-order"),
         "missing total-order violation: {:?}",
         a.violations()
     );
@@ -153,7 +153,7 @@ fn doctored_time_order_inversion_is_flagged() {
     evs.push(delivered(0, 2, 1, Semantics::TIME_STRICT, 400));
     let a = audit(&evs);
     assert!(
-        a.violations().iter().any(|v| v.0.contains("time-ordered")),
+        a.violations().iter().any(|v| v.check == "time-order"),
         "missing time-order violation: {:?}",
         a.violations()
     );
@@ -170,7 +170,7 @@ fn doctored_view_disagreement_is_flagged() {
     assert!(
         a.violations()
             .iter()
-            .any(|v| v.0.contains("view agreement broken")),
+            .any(|v| v.check == "view-agreement"),
         "missing view-agreement violation: {:?}",
         a.violations()
     );
@@ -187,7 +187,7 @@ fn doctored_competing_majority_groups_are_flagged() {
     assert!(
         a.violations()
             .iter()
-            .any(|v| v.0.contains("two completed majority groups")),
+            .any(|v| v.check == "competing-groups"),
         "missing competing-groups violation: {:?}",
         a.violations()
     );
@@ -205,7 +205,7 @@ fn shared_auditor_flags_through_the_sink_interface() {
     assert!(shared.ok());
     sink.record(&delivered(3, 0, 2, Semantics::TOTAL_STRONG, 202));
     assert!(!shared.ok(), "sink path accepted a duplicate delivery");
-    assert!(shared.violations().iter().any(|v| v.0.contains("twice")));
+    assert!(shared.violations().iter().any(|v| v.message.contains("twice")));
     let result = std::panic::catch_unwind(|| shared.assert_clean());
     assert!(result.is_err(), "assert_clean must panic on violations");
 }

@@ -26,7 +26,12 @@ pub(crate) fn run(parts: NodeParts) {
         clock,
         mut hook,
         metrics,
+        recorder,
     } = parts;
+    // Held on this stack so the flight recorder's tail is spilled even
+    // if a handler panics and unwinds this thread (the Node's own Arc
+    // keeps the recorder alive, so Drop alone would not fire here).
+    let _recorder_guard = tw_obs::FlushGuard::new(recorder);
     let pid = member.pid();
     let tick = member.config().tick;
     let resync = member.config().clock.resync_interval;

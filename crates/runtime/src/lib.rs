@@ -31,8 +31,9 @@ pub mod transport;
 pub use clock::{RealClock, RuntimeClock};
 pub use metrics::NodeMetrics;
 pub use node::{
-    spawn_cluster, spawn_cluster_traced, spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent,
-    DeliveryHook, ExecutorKind, Node, NodeCommand, NodeOutput,
+    spawn_cluster, spawn_cluster_recorded, spawn_cluster_recorded_traced, spawn_cluster_traced,
+    spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent, DeliveryHook, ExecutorKind, Node,
+    NodeCommand, NodeOutput, RecorderSetup,
 };
 pub use transport::{MemTransport, Transport, UdpTransport};
 
@@ -40,6 +41,9 @@ pub use transport::{MemTransport, Transport, UdpTransport};
 pub mod prelude {
     pub use crate::clock::{RealClock, RuntimeClock};
     pub use crate::metrics::NodeMetrics;
-    pub use crate::node::{spawn_cluster, spawn_cluster_traced, spawn_udp_cluster, ExecutorKind, Node};
+    pub use crate::node::{
+        spawn_cluster, spawn_cluster_recorded, spawn_cluster_traced, spawn_udp_cluster,
+        ExecutorKind, Node, RecorderSetup,
+    };
     pub use crate::transport::{MemTransport, Transport, UdpTransport};
 }

@@ -12,11 +12,12 @@ use crate::transport::{Incoming, MemTransport, Transport, UdpTransport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use timewheel::events::LeaveReason;
 use timewheel::member::broadcast::ProposeError;
 use timewheel::{Config, Delivery, Member};
-use tw_obs::{Snapshot, TraceSink, Tracer};
+use tw_obs::{FlightRecorder, RecorderConfig, Snapshot, TeeSink, TraceSink, Tracer};
 use tw_proto::{ProcessId, Semantics, View};
 
 /// Commands a client can send to its node.
@@ -61,12 +62,32 @@ pub struct Node {
     handles: Vec<std::thread::JoinHandle<()>>,
     udp: Option<Arc<UdpTransport>>,
     metrics: Arc<NodeMetrics>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Node {
     /// This node's live metrics (counters update while the node runs).
     pub fn metrics(&self) -> &NodeMetrics {
         &self.metrics
+    }
+
+    /// This node's flight recorder, when one was attached at spawn.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The path of this node's recording file, when recording.
+    pub fn recording_path(&self) -> Option<&Path> {
+        self.recorder.as_ref().map(|r| r.path())
+    }
+
+    /// Persist any buffered trace events now (no-op when not
+    /// recording). The executor also flushes at every view install and
+    /// on shutdown/panic.
+    pub fn flush_recorder(&self) {
+        if let Some(r) = &self.recorder {
+            r.flush();
+        }
     }
 
     /// A point-in-time copy of this node's metrics, exportable as JSON.
@@ -149,6 +170,9 @@ pub(crate) struct NodeParts {
     pub clock: Arc<dyn RuntimeClock + Sync>,
     pub hook: Option<DeliveryHook>,
     pub metrics: Arc<NodeMetrics>,
+    /// The node's black box; the executor holds a flush guard on its
+    /// stack so the tail is persisted even on panic unwind.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 fn spawn_node(
@@ -159,6 +183,7 @@ fn spawn_node(
     udp: Option<Arc<UdpTransport>>,
     mut extra_handles: Vec<std::thread::JoinHandle<()>>,
     hook: Option<DeliveryHook>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) -> Node {
     let pid = member.pid();
     let (cmd_tx, cmd_rx) = unbounded();
@@ -173,6 +198,7 @@ fn spawn_node(
         clock: Arc::new(RealClock::new()),
         hook,
         metrics: metrics.clone(),
+        recorder: recorder.clone(),
     };
     let main = std::thread::Builder::new()
         .name(format!("tw-node-{pid}"))
@@ -189,6 +215,7 @@ fn spawn_node(
         handles: extra_handles,
         udp,
         metrics,
+        recorder,
     }
 }
 
@@ -204,7 +231,7 @@ pub fn spawn_cluster_with_hooks(
     cfg: Config,
     make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
 ) -> Vec<Node> {
-    spawn_cluster_inner(kind, cfg, make_hook, None)
+    spawn_cluster_inner(kind, cfg, make_hook, None, None)
 }
 
 /// Start an in-process team with every member's trace stream attached to
@@ -217,7 +244,81 @@ pub fn spawn_cluster_traced(
     cfg: Config,
     sink: Arc<dyn TraceSink>,
 ) -> Vec<Node> {
-    spawn_cluster_inner(kind, cfg, |_| None, Some(sink))
+    spawn_cluster_inner(kind, cfg, |_| None, Some(sink), None)
+}
+
+/// Where and how a cluster's flight recorders write their per-node
+/// recording files (`<dir>/node-<pid>.twrec`).
+#[derive(Debug, Clone)]
+pub struct RecorderSetup {
+    /// Directory the recording files are created in (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Per-node in-memory buffer capacity, in events (see
+    /// [`RecorderConfig::capacity`]).
+    pub capacity: usize,
+}
+
+impl RecorderSetup {
+    /// Record into `dir` with the default per-node buffer capacity.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RecorderSetup {
+            dir: dir.into(),
+            capacity: 1024,
+        }
+    }
+
+    /// Override the per-node buffer capacity.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The recording file for `pid`.
+    pub fn path_for(&self, pid: ProcessId) -> PathBuf {
+        self.dir.join(format!("node-{}.twrec", pid.0))
+    }
+}
+
+/// Start an in-process team with a [`FlightRecorder`] attached to every
+/// node: each member's trace stream is spilled crash-safely to
+/// `<dir>/node-<pid>.twrec`, flushed at every view installation and on
+/// shutdown or panic. The recordings are the input to the `tw-trace`
+/// analyzer.
+pub fn spawn_cluster_recorded(
+    kind: ExecutorKind,
+    cfg: Config,
+    setup: &RecorderSetup,
+) -> std::io::Result<Vec<Node>> {
+    spawn_cluster_recorded_traced(kind, cfg, setup, None)
+}
+
+/// [`spawn_cluster_recorded`] plus a shared live sink (e.g. a
+/// [`tw_obs::SharedAuditor`]): every event goes to both the node's
+/// recorder and `sink`.
+pub fn spawn_cluster_recorded_traced(
+    kind: ExecutorKind,
+    cfg: Config,
+    setup: &RecorderSetup,
+    sink: Option<Arc<dyn TraceSink>>,
+) -> std::io::Result<Vec<Node>> {
+    std::fs::create_dir_all(&setup.dir)?;
+    // Create every recording file up front so I/O errors surface here,
+    // not inside node threads.
+    let recorders = (0..cfg.n)
+        .map(|i| {
+            let pid = ProcessId(i as u16);
+            let rc = RecorderConfig::new(pid, cfg.n, cfg.epsilon).capacity(setup.capacity);
+            FlightRecorder::create(setup.path_for(pid), rc).map(Arc::new)
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(spawn_cluster_inner(
+        kind,
+        cfg,
+        |_| None,
+        sink,
+        Some(recorders),
+    ))
 }
 
 fn spawn_cluster_inner(
@@ -225,6 +326,7 @@ fn spawn_cluster_inner(
     cfg: Config,
     mut make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
     sink: Option<Arc<dyn TraceSink>>,
+    recorders: Option<Vec<Arc<FlightRecorder>>>,
 ) -> Vec<Node> {
     let n = cfg.n;
     let mut inbox_txs = Vec::with_capacity(n);
@@ -241,8 +343,18 @@ fn spawn_cluster_inner(
         .map(|(i, inbox)| {
             let pid = ProcessId(i as u16);
             let mut member = Member::new_unchecked(pid, cfg);
-            if let Some(s) = &sink {
-                member.set_tracer(Tracer::new(s.clone()));
+            let recorder = recorders.as_ref().map(|rs| rs[i].clone());
+            let node_sink: Option<Arc<dyn TraceSink>> = match (&sink, &recorder) {
+                (Some(s), Some(r)) => Some(Arc::new(TeeSink::new(vec![
+                    r.clone() as Arc<dyn TraceSink>,
+                    s.clone(),
+                ]))),
+                (Some(s), None) => Some(s.clone()),
+                (None, Some(r)) => Some(r.clone() as Arc<dyn TraceSink>),
+                (None, None) => None,
+            };
+            if let Some(s) = node_sink {
+                member.set_tracer(Tracer::new(s));
             }
             spawn_node(
                 kind,
@@ -252,6 +364,7 @@ fn spawn_cluster_inner(
                 None,
                 Vec::new(),
                 make_hook(pid),
+                recorder,
             )
         })
         .collect()
@@ -289,6 +402,7 @@ pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec
             transport.clone() as Arc<dyn Transport>,
             Some(transport),
             vec![rx_handle],
+            None,
             None,
         ));
     }

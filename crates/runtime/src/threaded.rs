@@ -24,7 +24,12 @@ pub(crate) fn run(parts: NodeParts) {
         clock,
         hook,
         metrics,
+        recorder,
     } = parts;
+    // Held on the command-loop stack so the flight recorder's tail is
+    // spilled even if this thread panics (the Node's Arc keeps the
+    // recorder alive, so Drop alone would not fire here).
+    let _recorder_guard = tw_obs::FlushGuard::new(recorder);
     let hook = Arc::new(Mutex::new(hook));
     let pid = member.pid();
     let tick = member.config().tick;

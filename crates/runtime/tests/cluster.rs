@@ -8,7 +8,8 @@ use timewheel::Config;
 use tw_obs::{SharedAuditor, TraceSink};
 use tw_proto::{Duration, Semantics};
 use tw_runtime::{
-    spawn_cluster, spawn_cluster_traced, spawn_udp_cluster, ExecutorKind, Node, NodeOutput,
+    spawn_cluster, spawn_cluster_recorded, spawn_cluster_traced, spawn_udp_cluster, ExecutorKind,
+    Node, NodeOutput, RecorderSetup,
 };
 
 fn cfg(n: usize) -> Config {
@@ -214,6 +215,52 @@ fn event_loop_records_dispatch_latency() {
         assert!(s.counter("views_installed") >= 1);
     }
     shutdown(nodes);
+}
+
+/// Every node of a recorded cluster writes a loadable flight recording,
+/// flushed on shutdown by the executor's guard; the offline analyzer
+/// reconstructs the run from the files alone with a clean audit.
+#[test]
+fn recorded_cluster_writes_analyzable_recordings() {
+    let n = 3;
+    let dir = std::env::temp_dir().join(format!("tw-runtime-rec-{}", std::process::id()));
+    let setup = RecorderSetup::new(&dir).capacity(128);
+    let nodes =
+        spawn_cluster_recorded(ExecutorKind::EventLoop, cfg(n), &setup).expect("create recordings");
+    form_group(&nodes, n);
+    nodes[0].propose(Bytes::from_static(b"boxed"), Semantics::TOTAL_STRONG);
+    for node in &nodes {
+        let ds = node.wait_for_deliveries(1, StdDuration::from_secs(10));
+        assert_eq!(ds.len(), 1, "{} missed the delivery", node.pid);
+        assert!(node.recording_path().is_some());
+    }
+    shutdown(nodes);
+
+    let recordings: Vec<tw_obs::Recording> = (0..n)
+        .map(|i| {
+            let r = tw_obs::Recording::load(setup.path_for(tw_proto::ProcessId(i as u16)))
+                .expect("load recording");
+            assert_eq!(r.damage, None, "clean shutdown left damage on node {i}");
+            assert!(!r.events.is_empty(), "node {i} recorded nothing");
+            r
+        })
+        .collect();
+    let set = tw_obs::TraceSet::new(recordings).expect("distinct recordings");
+    let analysis = tw_obs::analyze(&set);
+    assert!(
+        analysis
+            .merged
+            .iter()
+            .any(|e| matches!(e, tw_obs::TraceEvent::Delivered { .. })),
+        "recordings lost the delivery"
+    );
+    assert!(
+        analysis.audits_clean(),
+        "offline audit of the recorded cluster failed: {:?} / {:?}",
+        analysis.audit,
+        analysis.cross
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The live invariant auditor tails the trace streams of all five

@@ -180,3 +180,13 @@ cargo check --offline --workspace --all-targets
 # which has the real crossbeam and multi-core runners.
 rm -f runtime/tests/cluster.rs
 cargo test --offline --workspace "$@" -- --skip "cluster::tests::"
+
+# The tw-trace analyzer CLI must build and run offline (its end-to-end
+# behaviour is covered by core's recorder_analyze test above; this
+# exercises the binary itself: usage text, and exit 2 on unreadable
+# input).
+cargo run --offline -q -p tw-obs --bin tw-trace -- --help
+if cargo run --offline -q -p tw-obs --bin tw-trace -- /nonexistent.twrec 2>/dev/null; then
+  echo "tw-trace: expected exit 2 on unreadable input" >&2
+  exit 1
+fi
