@@ -351,6 +351,16 @@ impl Member {
         self.clock.force_synced();
     }
 
+    /// Harness support: restart a crashed process as incarnation `inc`.
+    /// A real recovery ([`Member::on_recover`]) bumps the incarnation of
+    /// surviving state; a chaos-harness restart builds a *fresh* member
+    /// (the crash destroyed the old one) and must place it in the right
+    /// incarnation band so its proposal ids stay unique across lives.
+    pub fn force_incarnation(&mut self, inc: Incarnation) {
+        self.incarnation = inc;
+        self.my_seq = (inc.0 as u64) << 32;
+    }
+
     /// Explorer/test support: a member born directly into `view` in
     /// failure-free state with a force-synced clock, skipping the
     /// join protocol. The schedule explorer uses this to study formed

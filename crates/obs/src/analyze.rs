@@ -199,6 +199,10 @@ pub struct Analysis {
     /// Violations from the offline-only cross-node checks
     /// (majority-view overlap, oal-prefix agreement, ε-causality).
     pub cross: Vec<Violation>,
+    /// Injected faults found in the stream, counted per kind label —
+    /// non-empty exactly when the run was adversarial (self-describing
+    /// chaos recordings).
+    pub faults: BTreeMap<&'static str, u64>,
     /// Per-phase latency histograms (microseconds; see the
     /// `span.*` keys) with percentile summaries in the JSON snapshot.
     pub latencies: Snapshot,
@@ -268,6 +272,15 @@ pub fn analyze(set: &TraceSet) -> Analysis {
     oal_prefix_check(&merged, &mut cross);
     causality_check(&decisions, set.epsilon, &mut cross);
 
+    // Surface injected faults so adversarial runs read as such: the
+    // protocol's guarantees must hold *despite* everything counted here.
+    let mut faults: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in &merged {
+        if let TraceEvent::FaultInjected { kind, .. } = ev {
+            *faults.entry(kind.as_str()).or_insert(0) += 1;
+        }
+    }
+
     Analysis {
         team: set.team,
         epsilon: set.epsilon,
@@ -278,6 +291,7 @@ pub fn analyze(set: &TraceSet) -> Analysis {
         reconfigs,
         audit: auditor.violations().to_vec(),
         cross,
+        faults,
         latencies: registry.snapshot(),
     }
 }
@@ -547,6 +561,7 @@ pub fn render_timeline(merged: &[TraceEvent], team: usize, opts: TimelineOptions
         TraceEvent::ViewInstalled { .. } => 'V',
         TraceEvent::Delivered { .. } => '*',
         TraceEvent::Purged { .. } => 'P',
+        TraceEvent::FaultInjected { .. } => 'F',
         TraceEvent::Unknown { .. } => '?',
     };
     let detail = |ev: &TraceEvent| match ev {
@@ -573,6 +588,13 @@ pub fn render_timeline(merged: &[TraceEvent], team: usize, opts: TimelineOptions
         TraceEvent::Delivered { id, ordinal, .. } => format!("delivered {id} ord={ordinal:?}"),
         TraceEvent::Purged { lost, orphaned, unknown, .. } => {
             format!("purged lost={lost} orphaned={orphaned} unknown={unknown}")
+        }
+        TraceEvent::FaultInjected { pid, kind, target, arg, .. } => {
+            if pid == target {
+                format!("fault {kind} arg={arg}")
+            } else {
+                format!("fault {kind} link={pid}→{target} arg={arg}")
+            }
         }
         TraceEvent::Unknown { tag } => format!("unknown tag={tag}"),
     };
@@ -619,7 +641,7 @@ pub fn render_timeline(merged: &[TraceEvent], team: usize, opts: TimelineOptions
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::ClockStamp;
+    use crate::trace::{ClockStamp, FaultKind};
     use tw_proto::{HwTime, ProposalId, Semantics};
 
     fn stamp(t: i64) -> ClockStamp {
@@ -871,6 +893,49 @@ mod tests {
         let set = TraceSet::new(vec![rec(0, events)]).unwrap();
         let a = analyze(&set);
         assert!(a.cross.iter().all(|x| x.check != "oal-prefix"));
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_rendered_without_breaking_audits() {
+        let events = vec![
+            TraceEvent::FaultInjected {
+                pid: ProcessId(0),
+                at: stamp(5),
+                kind: FaultKind::Drop,
+                target: ProcessId(2),
+                arg: 0,
+            },
+            TraceEvent::FaultInjected {
+                pid: ProcessId(0),
+                at: stamp(9),
+                kind: FaultKind::Drop,
+                target: ProcessId(1),
+                arg: 0,
+            },
+            TraceEvent::FaultInjected {
+                pid: ProcessId(2),
+                at: stamp(12),
+                kind: FaultKind::Crash,
+                target: ProcessId(2),
+                arg: 3,
+            },
+            TraceEvent::ViewInstalled {
+                pid: ProcessId(0),
+                at: stamp(20),
+                view: view(1),
+                members: AckBits(0b011),
+            },
+        ];
+        let set = TraceSet::new(vec![rec(0, events)]).unwrap();
+        let a = analyze(&set);
+        assert_eq!(a.faults.get("drop"), Some(&2));
+        assert_eq!(a.faults.get("crash"), Some(&1));
+        // Fault markers are harness bookkeeping, not protocol events:
+        // they must not trip the audit.
+        assert!(a.audits_clean(), "{:?} / {:?}", a.audit, a.cross);
+        let tl = render_timeline(&a.merged, 3, TimelineOptions::default());
+        assert!(tl.contains("fault drop link=p0→p2"), "{tl}");
+        assert!(tl.contains("fault crash arg=3"), "{tl}");
     }
 
     #[test]

@@ -163,6 +163,14 @@ fn report_json(analysis: &Analysis, recordings: &[Recording], failures: &[String
         analysis.decisions.len(),
         analysis.reconfigs.len()
     ));
+    out.push_str("\"faults\":{");
+    for (i, (kind, count)) in analysis.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{kind}\":{count}"));
+    }
+    out.push_str("},");
     out.push_str("\"violations\":[");
     for (i, v) in analysis.audit.iter().chain(&analysis.cross).enumerate() {
         if i > 0 {
@@ -307,6 +315,20 @@ fn main() -> ExitCode {
                 Some(d) => d.to_string(),
                 None => "incomplete".into(),
             }
+        );
+    }
+
+    if !analysis.faults.is_empty() {
+        let summary: Vec<String> = analysis
+            .faults
+            .iter()
+            .map(|(kind, count)| format!("{kind}×{count}"))
+            .collect();
+        println!();
+        println!(
+            "adversarial run: {} injected faults ({})",
+            analysis.faults.values().sum::<u64>(),
+            summary.join(", ")
         );
     }
 

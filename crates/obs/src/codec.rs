@@ -14,13 +14,13 @@
 //! Decoding is total: arbitrary bytes either decode or return a
 //! [`WireError`], never panic (fuzzed in `tests/prop_codec.rs`).
 
-use crate::trace::{ClockStamp, TraceEvent};
+use crate::trace::{ClockStamp, FaultKind, TraceEvent};
 use bytes::{BufMut, Bytes, BytesMut};
 use tw_proto::codec::{Decode, Encode, WireError};
 use tw_proto::{HwTime, Ordinal, SyncTime};
 
 /// Highest event tag this version of the crate produces.
-pub const MAX_KNOWN_TAG: u8 = 8;
+pub const MAX_KNOWN_TAG: u8 = 9;
 
 impl Encode for ClockStamp {
     fn encode(&self, buf: &mut BytesMut) {
@@ -70,6 +70,7 @@ impl TraceEvent {
             TraceEvent::ViewInstalled { .. } => 6,
             TraceEvent::Delivered { .. } => 7,
             TraceEvent::Purged { .. } => 8,
+            TraceEvent::FaultInjected { .. } => 9,
             TraceEvent::Unknown { tag } => *tag,
         }
     }
@@ -186,6 +187,19 @@ impl TraceEvent {
                 orphaned.encode(buf);
                 unknown.encode(buf);
             }
+            TraceEvent::FaultInjected {
+                pid,
+                at,
+                kind,
+                target,
+                arg,
+            } => {
+                pid.encode(buf);
+                at.encode(buf);
+                (*kind as u8).encode(buf);
+                target.encode(buf);
+                arg.encode(buf);
+            }
             TraceEvent::Unknown { .. } => {}
         }
     }
@@ -253,6 +267,19 @@ impl TraceEvent {
                 lost: Decode::decode(buf)?,
                 orphaned: Decode::decode(buf)?,
                 unknown: Decode::decode(buf)?,
+            },
+            9 => TraceEvent::FaultInjected {
+                pid: Decode::decode(buf)?,
+                at: Decode::decode(buf)?,
+                kind: {
+                    let b = u8::decode(buf)?;
+                    FaultKind::from_u8(b).ok_or(WireError::BadTag {
+                        what: "fault kind",
+                        tag: b,
+                    })?
+                },
+                target: Decode::decode(buf)?,
+                arg: Decode::decode(buf)?,
             },
             _ => unreachable!("caller routes unknown tags"),
         })
@@ -378,6 +405,13 @@ mod tests {
                 orphaned: 2,
                 unknown: 3,
             },
+            TraceEvent::FaultInjected {
+                pid,
+                at,
+                kind: FaultKind::Corrupt,
+                target: ProcessId(1),
+                arg: 17,
+            },
         ]
     }
 
@@ -447,6 +481,32 @@ mod tests {
             let r = TraceEvent::from_bytes(&full[..cut]);
             assert!(r.is_err(), "prefix of {cut} bytes must not decode");
         }
+    }
+
+    #[test]
+    fn bad_fault_kind_byte_errors_without_panicking() {
+        // Frame a FaultInjected event whose kind byte is a value this
+        // version does not know: decoding must fail cleanly, not panic
+        // and not alias onto another kind.
+        let pid = ProcessId(2);
+        let mut payload = BytesMut::new();
+        pid.encode(&mut payload);
+        stamp(5, 6).encode(&mut payload);
+        255u8.encode(&mut payload);
+        pid.encode(&mut payload);
+        0u32.encode(&mut payload);
+        let mut buf = BytesMut::new();
+        9u8.encode(&mut buf);
+        (payload.len() as u16).encode(&mut buf);
+        buf.put_slice(&payload);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            TraceEvent::decode(&mut bytes),
+            Err(WireError::BadTag {
+                what: "fault kind",
+                tag: 255
+            })
+        ));
     }
 
     #[test]

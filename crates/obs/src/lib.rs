@@ -68,7 +68,7 @@ pub use metrics::{
 };
 pub use recorder::{FlightRecorder, FlushGuard, RecorderConfig};
 pub use recording::{Damage, LoadError, Recording};
-pub use trace::{ClockStamp, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
+pub use trace::{ClockStamp, FaultKind, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
 
 /// Commonly used items.
 pub mod prelude {
@@ -77,5 +77,5 @@ pub mod prelude {
     pub use crate::metrics::{Counter, Histogram, Registry, Snapshot};
     pub use crate::recorder::{FlightRecorder, RecorderConfig};
     pub use crate::recording::Recording;
-    pub use crate::trace::{ClockStamp, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
+    pub use crate::trace::{ClockStamp, FaultKind, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
 }

@@ -25,6 +25,86 @@ pub struct ClockStamp {
     pub sync: SyncTime,
 }
 
+/// The kind of fault a chaos harness injected into a run.
+///
+/// Each kind maps onto the timed-asynchronous failure model the paper
+/// assumes (DESIGN.md §11): drop/duplicate/reorder/delay/corrupt are
+/// omission or performance failures of the datagram service, cut/heal
+/// describe the link matrix, and crash/restart/pause/resume are process
+/// failures. The discriminant is the wire byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FaultKind {
+    /// A datagram was discarded (omission failure).
+    Drop = 0,
+    /// A datagram was delivered twice.
+    Duplicate = 1,
+    /// A datagram was held back past later traffic (bounded reorder).
+    Reorder = 2,
+    /// A datagram was delayed (performance failure).
+    Delay = 3,
+    /// A datagram's bytes were corrupted, then dropped at decode
+    /// (checksummed omission).
+    Corrupt = 4,
+    /// A directional link was cut.
+    CutLink = 5,
+    /// A directional link was healed.
+    HealLink = 6,
+    /// A node was crash-stopped.
+    Crash = 7,
+    /// A crashed node was restarted (rejoins via the §5 join path).
+    Restart = 8,
+    /// A node's event processing was paused (performance failure).
+    Pause = 9,
+    /// A paused node was resumed.
+    Resume = 10,
+}
+
+impl FaultKind {
+    /// Every kind, in wire-byte order.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Delay,
+        FaultKind::Corrupt,
+        FaultKind::CutLink,
+        FaultKind::HealLink,
+        FaultKind::Crash,
+        FaultKind::Restart,
+        FaultKind::Pause,
+        FaultKind::Resume,
+    ];
+
+    /// Stable label for metrics keys and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Delay => "delay",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::CutLink => "cut-link",
+            FaultKind::HealLink => "heal-link",
+            FaultKind::Crash => "crash",
+            FaultKind::Restart => "restart",
+            FaultKind::Pause => "pause",
+            FaultKind::Resume => "resume",
+        }
+    }
+
+    /// Decode a wire byte; `None` for values this version doesn't know.
+    pub fn from_u8(b: u8) -> Option<FaultKind> {
+        FaultKind::ALL.get(b as usize).copied()
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One protocol-visible transition, as observed by one member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -150,6 +230,26 @@ pub enum TraceEvent {
         /// Unknown-dependency marks (category 4).
         unknown: u32,
     },
+    /// A chaos harness injected a fault into the run. Emitted by the
+    /// fault-injection transport and the chaos controller — never by the
+    /// protocol — so recordings of adversarial runs are self-describing.
+    FaultInjected {
+        /// The node whose traffic or lifecycle was affected (for link
+        /// faults, the sending side).
+        pid: ProcessId,
+        /// Injection time (the harness's clock; `sync` is its best
+        /// global estimate).
+        at: ClockStamp,
+        /// What was injected.
+        kind: FaultKind,
+        /// The link's far end for link faults; `pid` itself for
+        /// node-scoped faults (crash/restart/pause/resume).
+        target: ProcessId,
+        /// Kind-specific detail: hold/delay in milliseconds for
+        /// `Reorder`/`Delay`, the flipped byte offset for `Corrupt`,
+        /// the schedule step index for controller ops, else 0.
+        arg: u32,
+    },
     /// An event tag this consumer does not know (newer producer); the
     /// payload was skipped. Lets old auditors tail new clusters.
     Unknown {
@@ -171,6 +271,7 @@ impl TraceEvent {
             TraceEvent::ViewInstalled { .. } => "view-installed",
             TraceEvent::Delivered { .. } => "delivered",
             TraceEvent::Purged { .. } => "purged",
+            TraceEvent::FaultInjected { .. } => "fault-injected",
             TraceEvent::Unknown { .. } => "unknown",
         }
     }
@@ -186,7 +287,8 @@ impl TraceEvent {
             | TraceEvent::ReconfigSlotFired { pid, .. }
             | TraceEvent::ViewInstalled { pid, .. }
             | TraceEvent::Delivered { pid, .. }
-            | TraceEvent::Purged { pid, .. } => Some(*pid),
+            | TraceEvent::Purged { pid, .. }
+            | TraceEvent::FaultInjected { pid, .. } => Some(*pid),
             TraceEvent::Unknown { .. } => None,
         }
     }
@@ -202,7 +304,8 @@ impl TraceEvent {
             | TraceEvent::ReconfigSlotFired { at, .. }
             | TraceEvent::ViewInstalled { at, .. }
             | TraceEvent::Delivered { at, .. }
-            | TraceEvent::Purged { at, .. } => Some(*at),
+            | TraceEvent::Purged { at, .. }
+            | TraceEvent::FaultInjected { at, .. } => Some(*at),
             TraceEvent::Unknown { .. } => None,
         }
     }
@@ -460,6 +563,13 @@ mod tests {
                 orphaned: 2,
                 unknown: 0,
             },
+            TraceEvent::FaultInjected {
+                pid,
+                at,
+                kind: FaultKind::Drop,
+                target: ProcessId(1),
+                arg: 0,
+            },
         ];
         let labels: std::collections::BTreeSet<_> = all.iter().map(|e| e.label()).collect();
         assert_eq!(labels.len(), all.len(), "labels must be distinct");
@@ -467,5 +577,17 @@ mod tests {
             assert!(e.pid().is_some());
             assert!(e.stamp().is_some());
         }
+    }
+
+    #[test]
+    fn fault_kinds_roundtrip_with_distinct_labels() {
+        let labels: std::collections::BTreeSet<_> =
+            FaultKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+        for (i, k) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(*k as u8, i as u8, "wire byte must match position");
+            assert_eq!(FaultKind::from_u8(*k as u8), Some(*k));
+        }
+        assert_eq!(FaultKind::from_u8(FaultKind::ALL.len() as u8), None);
     }
 }

@@ -5,7 +5,7 @@
 use bytes::{BufMut, BytesMut};
 use proptest::prelude::*;
 use tw_obs::codec::MAX_KNOWN_TAG;
-use tw_obs::{ClockStamp, TraceEvent};
+use tw_obs::{ClockStamp, FaultKind, TraceEvent};
 use tw_proto::codec::{Decode, Encode};
 use tw_proto::{
     AckBits, Atomicity, HwTime, Ordinal, ProcessId, ProposalId, Semantics, SyncTime, ViewId,
@@ -144,6 +144,20 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                 lost,
                 orphaned,
                 unknown,
+            }),
+        (
+            arb_pid(),
+            arb_stamp(),
+            (0..FaultKind::ALL.len()).prop_map(|i| FaultKind::ALL[i]),
+            arb_pid(),
+            any::<u32>()
+        )
+            .prop_map(|(pid, at, kind, target, arg)| TraceEvent::FaultInjected {
+                pid,
+                at,
+                kind,
+                target,
+                arg,
             }),
         // Unknown events only exist with tags beyond the known range
         // (re-encoding one under a known tag would be a lie on the wire).

@@ -1,0 +1,140 @@
+//! Corruption-focused codec properties: a datagram with flipped bits or
+//! missing bytes — what a faulty network hands the receive path — must
+//! never panic the decoder, and must never silently decode as a
+//! *different message kind* unless the corruption hit the kind tag
+//! itself (byte 0). The chaos harness's `FaultTransport` relies on
+//! exactly this: it models corruption as flip-then-drop (a UDP checksum
+//! failure), and these properties guarantee the decode attempt it makes
+//! on the flipped bytes is safe.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use tw_proto::*;
+
+fn arb_pid() -> impl Strategy<Value = ProcessId> {
+    (0u16..64).prop_map(ProcessId)
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (
+            arb_pid(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<i64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(p, inc, seq, ts, hdo, payload)| {
+                Msg::Proposal(Proposal {
+                    sender: p,
+                    incarnation: Incarnation(inc),
+                    seq,
+                    send_ts: SyncTime(ts),
+                    hdo: Ordinal(hdo),
+                    semantics: Semantics::TOTAL_STRONG,
+                    payload: Bytes::from(payload),
+                })
+            }),
+        (
+            arb_pid(),
+            any::<u32>(),
+            any::<i64>(),
+            proptest::collection::vec((arb_pid(), any::<u32>().prop_map(Incarnation)), 0..8),
+            any::<u64>()
+        )
+            .prop_map(|(p, inc, ts, join_list, alive)| {
+                Msg::Join(Join {
+                    sender: p,
+                    incarnation: Incarnation(inc),
+                    send_ts: SyncTime(ts),
+                    join_list,
+                    alive: AckBits(alive),
+                })
+            }),
+        (arb_pid(), any::<u64>(), any::<i64>()).prop_map(|(p, rid, hw)| {
+            Msg::ClockSync(ClockSyncMsg::Request {
+                sender: p,
+                rid,
+                hw_send: HwTime(hw),
+            })
+        }),
+        (
+            arb_pid(),
+            any::<u64>(),
+            any::<i64>(),
+            any::<i64>(),
+            any::<bool>()
+        )
+            .prop_map(|(p, rid, hw, sync, synced)| {
+                Msg::ClockSync(ClockSyncMsg::Reply {
+                    sender: p,
+                    rid,
+                    hw_send_echo: HwTime(hw),
+                    sync_at_reply: SyncTime(sync),
+                    synced,
+                })
+            }),
+        (
+            arb_pid(),
+            any::<i64>(),
+            proptest::collection::vec(
+                (arb_pid(), any::<u64>()).prop_map(|(p, s)| ProposalId::new(p, s)),
+                0..8
+            )
+        )
+            .prop_map(|(p, ts, missing)| {
+                Msg::Nack(Nack {
+                    sender: p,
+                    send_ts: SyncTime(ts),
+                    missing,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bit_flip_never_panics_and_never_changes_kind(
+        msg in arb_msg(),
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let bytes = msg.to_bytes();
+        let mut flipped = bytes.to_vec();
+        let idx = (byte_pick % flipped.len() as u64) as usize;
+        flipped[idx] ^= 1 << bit;
+        match Msg::from_bytes(&flipped) {
+            // The kind tag is byte 0: corruption anywhere else may
+            // yield a different *message*, never a different *kind*.
+            Ok(decoded) if idx != 0 => prop_assert_eq!(decoded.kind(), msg.kind()),
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn truncated_then_flipped_never_panics(
+        msg in arb_msg(),
+        cut_frac in 0.0f64..1.0,
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let bytes = msg.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let mut mangled = bytes[..cut.min(bytes.len())].to_vec();
+        let mut idx = usize::MAX;
+        if !mangled.is_empty() {
+            idx = (byte_pick % mangled.len() as u64) as usize;
+            mangled[idx] ^= 1 << bit;
+        }
+        // Decoding may fail or — when the flip re-synchronized an
+        // internal length with the shorter frame — succeed; it must
+        // never panic, and an intact tag byte pins the kind.
+        match Msg::from_bytes(&mangled) {
+            Ok(decoded) if idx != 0 => prop_assert_eq!(decoded.kind(), msg.kind()),
+            Ok(_) | Err(_) => {}
+        }
+    }
+}

@@ -27,6 +27,8 @@ pub(crate) fn run(parts: NodeParts) {
         mut hook,
         metrics,
         recorder,
+        gate,
+        status,
     } = parts;
     // Held on this stack so the flight recorder's tail is spilled even
     // if a handler panics and unwinds this thread (the Node's own Arc
@@ -49,6 +51,10 @@ pub(crate) fn run(parts: NodeParts) {
     let mut next_tick = now + tick;
 
     loop {
+        // Chaos pause: freeze before the next dispatch, faking a
+        // process that stopped making progress (performance failure).
+        gate.block_while_paused();
+
         let now = clock.now_hw();
         let deadline = next_tick.min(next_clock);
         let wait_us = (deadline - now).as_micros().max(0) as u64;
@@ -122,5 +128,14 @@ pub(crate) fn run(parts: NodeParts) {
                 None => next_clock = now + resync,
             }
         }
+
+        // Publish the member's locally observed status (§6
+        // fail-awareness) for harness-side checks.
+        let now = clock.now_hw();
+        status.publish(crate::chaos::NodeStatus {
+            up_to_date: member.is_up_to_date(now),
+            view_len: member.view().len(),
+            view_seq: member.view().id.seq,
+        });
     }
 }

@@ -1,0 +1,767 @@
+//! Deterministic fault injection for real-cluster transports.
+//!
+//! [`FaultTransport`] wraps any [`Transport`] (the in-process mesh or
+//! real UDP) and subjects every datagram to a seeded, per-link fault
+//! plan: drop probability, duplication, bounded reorder, added delay,
+//! byte corruption, and directional link cuts. Every injected fault maps
+//! onto the paper's timed-asynchronous failure model:
+//!
+//! * drop / corrupt / cut — **omission** failures (a corrupted datagram
+//!   is exercised through [`Msg::from_bytes`] like a real receiver
+//!   would, then discarded — the harness plays the role of the UDP
+//!   checksum);
+//! * delay / reorder — **performance** failures (the datagram service is
+//!   unordered, so reordering is just a per-message delay);
+//! * duplication — legal datagram behavior the protocol must absorb.
+//!
+//! Determinism contract: the fate of message *n* on link *(from, to)* is
+//! a pure function of `(seed, from, to, n)` — a private SplitMix64 lane
+//! per message, so toggling one fault knob never shifts another knob's
+//! draws, and a re-run with the same seed and same send pattern injects
+//! the identical fault sequence. All knobs are switchable at runtime
+//! through the shared [`ChaosNet`].
+//!
+//! Injected faults are emitted as [`TraceEvent::FaultInjected`] into the
+//! sending node's trace sink, so flight recordings of adversarial runs
+//! are self-describing.
+
+use crate::clock::{RealClock, RuntimeClock};
+use crate::transport::Transport;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tw_obs::{ClockStamp, FaultKind, TraceEvent, Tracer};
+use tw_proto::{Decode, Encode, Msg, ProcessId, SyncTime};
+
+/// SplitMix64 — a tiny, high-quality, dependency-free PRNG. Used for
+/// every chaos decision so runs are reproducible from a single seed.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `ppm / 1_000_000`.
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        self.below(1_000_000) < ppm as u64
+    }
+}
+
+/// The per-message fate lane: a fresh SplitMix64 stream keyed by
+/// `(seed, from, to, seq)`, so every message's draws are independent of
+/// every other message's.
+fn lane(seed: u64, from: ProcessId, to: ProcessId, seq: u64) -> ChaosRng {
+    let mut s = seed;
+    for v in [from.0 as u64 + 1, to.0 as u64 + 1, seq + 1] {
+        s = ChaosRng(s ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+    }
+    ChaosRng(s)
+}
+
+/// Fault knobs for one directed link. Probabilities are integer
+/// parts-per-million so plans hash and compare exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkPlan {
+    /// Probability (ppm) that a datagram is silently dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a datagram is delivered twice.
+    pub dup_ppm: u32,
+    /// Probability (ppm) that a datagram is held back so later traffic
+    /// overtakes it (bounded reorder).
+    pub reorder_ppm: u32,
+    /// Probability (ppm) that a datagram is delayed in flight.
+    pub delay_ppm: u32,
+    /// Probability (ppm) that one byte of the datagram is bit-flipped;
+    /// the mangled bytes are run through the real decoder and the
+    /// datagram is then discarded (omission).
+    pub corrupt_ppm: u32,
+    /// How long a reordered datagram is held back, in milliseconds.
+    pub hold_ms: u32,
+    /// Added in-flight delay for a delayed datagram, in milliseconds.
+    pub delay_ms: u32,
+}
+
+impl LinkPlan {
+    /// A transparent plan: every datagram passes untouched.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// A lossy link: `drop_ppm` drops, nothing else.
+    pub fn lossy(drop_ppm: u32) -> Self {
+        LinkPlan {
+            drop_ppm,
+            ..Self::default()
+        }
+    }
+
+    /// True when no fault can fire.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Mutable chaos state shared by every link.
+#[derive(Debug, Default)]
+struct NetState {
+    default_plan: LinkPlan,
+    overrides: HashMap<(ProcessId, ProcessId), LinkPlan>,
+    cut: HashSet<(ProcessId, ProcessId)>,
+    seqs: HashMap<(ProcessId, ProcessId), u64>,
+}
+
+/// A datagram parked in the delay pump.
+struct Held {
+    due: Instant,
+    order: u64,
+    to: ProcessId,
+    msg: Msg,
+    inner: Arc<dyn Transport>,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.order).cmp(&(other.due, other.order))
+    }
+}
+
+#[derive(Default)]
+struct PumpState {
+    heap: BinaryHeap<Reverse<Held>>,
+    shutdown: bool,
+}
+
+/// The delay pump: one thread per [`ChaosNet`] that releases held
+/// datagrams when their deadline passes.
+struct Pump {
+    state: Mutex<PumpState>,
+    cv: Condvar,
+}
+
+impl Pump {
+    fn lock(&self) -> MutexGuard<'_, PumpState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, held: Held) {
+        self.lock().heap.push(Reverse(held));
+        self.cv.notify_one();
+    }
+
+    fn run(self: &Arc<Self>) {
+        let mut st = self.lock();
+        loop {
+            if st.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            match st.heap.peek() {
+                Some(Reverse(head)) if head.due <= now => {
+                    let Reverse(held) = st.heap.pop().expect("peeked");
+                    drop(st);
+                    held.inner.send(held.to, &held.msg);
+                    st = self.lock();
+                }
+                Some(Reverse(head)) => {
+                    let wait = head.due - now;
+                    st = self.cv.wait_timeout(st, wait).map(|(g, _)| g).unwrap_or_else(|e| e.into_inner().0);
+                }
+                None => {
+                    st = self
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(200))
+                        .map(|(g, _)| g)
+                        .unwrap_or_else(|e| e.into_inner().0);
+                }
+            }
+        }
+    }
+}
+
+/// The shared chaos fabric for one cluster: the seeded fault plans, the
+/// directional cut matrix, the delay pump, per-fault-kind counters and
+/// the common hardware clock used to stamp injected-fault events.
+///
+/// One `ChaosNet` is shared by every node's [`FaultTransport`]; all of
+/// its knobs may be changed while the cluster runs.
+pub struct ChaosNet {
+    seed: u64,
+    clock: RealClock,
+    state: Mutex<NetState>,
+    counts: [AtomicU64; FaultKind::ALL.len()],
+    cut_swallowed: AtomicU64,
+    held_order: AtomicU64,
+    pump: Arc<Pump>,
+    pump_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ChaosNet {
+    /// A fresh fabric from `seed`, with every link clean and connected.
+    pub fn new(seed: u64) -> Arc<Self> {
+        let pump = Arc::new(Pump {
+            state: Mutex::new(PumpState::default()),
+            cv: Condvar::new(),
+        });
+        let worker = pump.clone();
+        let handle = std::thread::Builder::new()
+            .name("chaos-pump".into())
+            .spawn(move || worker.run())
+            .expect("spawn chaos pump");
+        Arc::new(ChaosNet {
+            seed,
+            clock: RealClock::new(),
+            state: Mutex::new(NetState::default()),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            cut_swallowed: AtomicU64::new(0),
+            held_order: AtomicU64::new(0),
+            pump,
+            pump_thread: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The seed the fabric was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fabric's hardware clock. Clones share the epoch, so every
+    /// node of a chaos cluster can stamp events on one timeline.
+    pub fn clock(&self) -> RealClock {
+        self.clock.clone()
+    }
+
+    /// The current stamp on the fabric clock. Fault events carry a
+    /// synchronized reading equal to the hardware reading: the fabric
+    /// clock is the one global observer the model otherwise forbids —
+    /// fine for the harness, which stands outside the protocol.
+    pub fn stamp(&self) -> ClockStamp {
+        let hw = self.clock.now_hw();
+        ClockStamp {
+            hw,
+            sync: SyncTime(hw.0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, NetState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replace the plan applied to every link without an override.
+    pub fn set_default_plan(&self, plan: LinkPlan) {
+        self.lock().default_plan = plan;
+    }
+
+    /// Override the plan for one directed link.
+    pub fn set_link_plan(&self, from: ProcessId, to: ProcessId, plan: LinkPlan) {
+        self.lock().overrides.insert((from, to), plan);
+    }
+
+    /// Drop all per-link overrides (the default plan remains).
+    pub fn clear_link_plans(&self) {
+        self.lock().overrides.clear();
+    }
+
+    /// Cut the directed link `from → to`: datagrams vanish silently.
+    /// Returns whether the link was previously connected.
+    pub fn cut(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.lock().cut.insert((from, to))
+    }
+
+    /// Heal the directed link `from → to`. Returns whether the link was
+    /// previously cut.
+    pub fn heal(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.lock().cut.remove(&(from, to))
+    }
+
+    /// Cut both directions between `a` and `b`.
+    pub fn cut_both(&self, a: ProcessId, b: ProcessId) {
+        let mut st = self.lock();
+        st.cut.insert((a, b));
+        st.cut.insert((b, a));
+    }
+
+    /// Partition the team into disjoint sides: every link crossing a
+    /// side boundary is cut (both directions), links inside a side are
+    /// healed. Returns the newly cut directed links, sorted.
+    pub fn partition(&self, sides: &[Vec<ProcessId>]) -> Vec<(ProcessId, ProcessId)> {
+        let mut st = self.lock();
+        let before = std::mem::take(&mut st.cut);
+        for (i, side_a) in sides.iter().enumerate() {
+            for side_b in sides.iter().skip(i + 1) {
+                for &a in side_a {
+                    for &b in side_b {
+                        st.cut.insert((a, b));
+                        st.cut.insert((b, a));
+                    }
+                }
+            }
+        }
+        let mut new: Vec<_> = st.cut.difference(&before).copied().collect();
+        new.sort();
+        new
+    }
+
+    /// Reconnect everything. Returns the healed directed links, sorted.
+    pub fn heal_all(&self) -> Vec<(ProcessId, ProcessId)> {
+        let mut healed: Vec<_> = std::mem::take(&mut self.lock().cut).into_iter().collect();
+        healed.sort();
+        healed
+    }
+
+    /// True when the directed link `from → to` is currently cut.
+    pub fn is_cut(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.lock().cut.contains(&(from, to))
+    }
+
+    /// How many faults of `kind` the fabric has injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.counts[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total datagrams swallowed by cut links (not traced per-message —
+    /// the cut/heal events bracket the interval).
+    pub fn cut_swallowed(&self) -> u64 {
+        self.cut_swallowed.load(Ordering::Relaxed)
+    }
+
+    /// Count one injected fault of `kind` (also used by the controller
+    /// for node-level faults so one ledger covers the whole run).
+    pub fn count(&self, kind: FaultKind) {
+        self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-kind injection counters, in
+    /// [`FaultKind::ALL`] order.
+    pub fn injected_counts(&self) -> [u64; FaultKind::ALL.len()] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+}
+
+impl Drop for ChaosNet {
+    fn drop(&mut self) {
+        self.pump.lock().shutdown = true;
+        self.pump.cv.notify_all();
+        if let Some(h) = self.pump_thread.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A [`Transport`] wrapper that routes every datagram through the
+/// shared [`ChaosNet`] fault fabric before handing it to the inner
+/// transport. One wrapper per node; broadcasts are decomposed into
+/// per-link sends so each link rolls its own fate.
+pub struct FaultTransport {
+    me: ProcessId,
+    team: Vec<ProcessId>,
+    inner: Arc<dyn Transport>,
+    net: Arc<ChaosNet>,
+    tracer: Tracer,
+}
+
+impl FaultTransport {
+    /// Wrap `inner` for node `me` of `team`, injecting faults from
+    /// `net` and emitting [`TraceEvent::FaultInjected`] into `tracer`.
+    pub fn new(
+        me: ProcessId,
+        team: Vec<ProcessId>,
+        inner: Arc<dyn Transport>,
+        net: Arc<ChaosNet>,
+        tracer: Tracer,
+    ) -> Arc<Self> {
+        Arc::new(FaultTransport {
+            me,
+            team,
+            inner,
+            net,
+            tracer,
+        })
+    }
+
+    /// The shared fabric behind this wrapper.
+    pub fn net(&self) -> &Arc<ChaosNet> {
+        &self.net
+    }
+
+    fn emit(&self, kind: FaultKind, target: ProcessId, arg: u32) {
+        self.net.count(kind);
+        let at = self.net.stamp();
+        let pid = self.me;
+        self.tracer.emit(|| TraceEvent::FaultInjected {
+            pid,
+            at,
+            kind,
+            target,
+            arg,
+        });
+    }
+
+    fn hold(&self, to: ProcessId, msg: Msg, ms: u32) {
+        let order = self.net.held_order.fetch_add(1, Ordering::Relaxed);
+        self.net.pump.push(Held {
+            due: Instant::now() + Duration::from_millis(ms as u64),
+            order,
+            to,
+            msg,
+            inner: self.inner.clone(),
+        });
+    }
+
+    /// Route one datagram `from → to` through the fault plan.
+    fn send_on_link(&self, from: ProcessId, to: ProcessId, msg: &Msg) {
+        let (plan, seq, cut) = {
+            let mut st = self.net.lock();
+            let cut = st.cut.contains(&(from, to));
+            let plan = *st.overrides.get(&(from, to)).unwrap_or(&st.default_plan);
+            let seq = st.seqs.entry((from, to)).or_insert(0);
+            let n = *seq;
+            *seq += 1;
+            (plan, n, cut)
+        };
+        if cut {
+            self.net.cut_swallowed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if plan.is_clean() {
+            self.inner.send(to, msg);
+            return;
+        }
+        // Fixed draw order, one draw per knob, so enabling one fault
+        // never changes another fault's pattern.
+        let mut rng = lane(self.net.seed, from, to, seq);
+        let corrupt = rng.chance_ppm(plan.corrupt_ppm);
+        let dropped = rng.chance_ppm(plan.drop_ppm);
+        let dup = rng.chance_ppm(plan.dup_ppm);
+        let reorder = rng.chance_ppm(plan.reorder_ppm);
+        let delay = rng.chance_ppm(plan.delay_ppm);
+
+        if corrupt {
+            // Flip one deterministic bit and push the result through the
+            // real decoder, exactly as a receiver would — it must not
+            // panic. Then discard: corruption is an omission (the
+            // harness plays the role of the UDP checksum).
+            let mut bytes = msg.to_bytes().to_vec();
+            if !bytes.is_empty() {
+                let at_byte = rng.below(bytes.len() as u64) as usize;
+                let bit = rng.below(8) as u8;
+                bytes[at_byte] ^= 1 << bit;
+                let _ = Msg::from_bytes(&bytes);
+                self.emit(FaultKind::Corrupt, to, at_byte as u32);
+                return;
+            }
+        }
+        if dropped {
+            self.emit(FaultKind::Drop, to, 0);
+            return;
+        }
+        if reorder && plan.hold_ms > 0 {
+            self.emit(FaultKind::Reorder, to, plan.hold_ms);
+            self.hold(to, msg.clone(), plan.hold_ms);
+            return;
+        }
+        if delay && plan.delay_ms > 0 {
+            self.emit(FaultKind::Delay, to, plan.delay_ms);
+            self.hold(to, msg.clone(), plan.delay_ms);
+            if dup {
+                self.emit(FaultKind::Duplicate, to, 0);
+                self.hold(to, msg.clone(), plan.delay_ms);
+            }
+            return;
+        }
+        self.inner.send(to, msg);
+        if dup {
+            self.emit(FaultKind::Duplicate, to, 0);
+            self.inner.send(to, msg);
+        }
+    }
+}
+
+impl Transport for FaultTransport {
+    fn send(&self, to: ProcessId, msg: &Msg) {
+        self.send_on_link(self.me, to, msg);
+    }
+
+    fn broadcast(&self, from: ProcessId, msg: &Msg) {
+        for &p in &self.team {
+            if p != from {
+                self.send_on_link(from, p, msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Incoming, MemTransport};
+    use crossbeam::channel::{unbounded, Receiver};
+    use std::sync::Arc;
+    use tw_obs::VecSink;
+    use tw_proto::{ClockSyncMsg, HwTime};
+
+    fn sample(from: u16, rid: u64) -> Msg {
+        Msg::ClockSync(ClockSyncMsg::Request {
+            sender: ProcessId(from),
+            rid,
+            hw_send: HwTime(1),
+        })
+    }
+
+    fn rid_of(inc: &Incoming) -> u64 {
+        match inc {
+            Incoming::Msg(_, Msg::ClockSync(ClockSyncMsg::Request { rid, .. })) => *rid,
+            other => panic!("unexpected incoming {other:?}"),
+        }
+    }
+
+    /// A 2-node fabric: node 0's wrapped transport plus node 1's inbox.
+    fn pair(
+        seed: u64,
+        sink: Arc<VecSink>,
+    ) -> (Arc<FaultTransport>, Receiver<Incoming>, Arc<ChaosNet>) {
+        let (tx0, _rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let mem = MemTransport::new(vec![tx0.into(), tx1.into()]);
+        let net = ChaosNet::new(seed);
+        let team = vec![ProcessId(0), ProcessId(1)];
+        let t = FaultTransport::new(
+            ProcessId(0),
+            team,
+            mem,
+            net.clone(),
+            Tracer::new(sink),
+        );
+        (t, rx1, net)
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (t, rx, net) = pair(1, Arc::new(VecSink::new()));
+        for rid in 0..50 {
+            t.send(ProcessId(1), &sample(0, rid));
+        }
+        let got: Vec<u64> = rx.try_iter().map(|m| rid_of(&m)).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(net.injected_counts(), [0; FaultKind::ALL.len()]);
+    }
+
+    #[test]
+    fn drops_are_deterministic_across_reruns() {
+        let run = |seed: u64| -> Vec<u64> {
+            let (t, rx, net) = pair(seed, Arc::new(VecSink::new()));
+            net.set_default_plan(LinkPlan::lossy(300_000));
+            for rid in 0..200 {
+                t.send(ProcessId(1), &sample(0, rid));
+            }
+            rx.try_iter().map(|m| rid_of(&m)).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must reproduce the same drop pattern");
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.len() < 200, "a 30% lossy link must drop something");
+        assert!(a.len() > 100, "a 30% lossy link must pass most traffic");
+    }
+
+    #[test]
+    fn toggling_one_knob_leaves_other_fates_alone() {
+        // Same seed: the set of *dropped* rids must be identical whether
+        // or not duplication is also enabled.
+        let run = |dup_ppm: u32| -> HashSet<u64> {
+            let (t, rx, net) = pair(7, Arc::new(VecSink::new()));
+            net.set_default_plan(LinkPlan {
+                drop_ppm: 300_000,
+                dup_ppm,
+                ..LinkPlan::default()
+            });
+            for rid in 0..200 {
+                t.send(ProcessId(1), &sample(0, rid));
+            }
+            rx.try_iter().map(|m| rid_of(&m)).collect()
+        };
+        let without_dup = run(0);
+        let with_dup = run(500_000);
+        assert_eq!(
+            without_dup, with_dup,
+            "the surviving set must not shift when duplication is enabled"
+        );
+    }
+
+    #[test]
+    fn cut_links_swallow_directionally_and_heal() {
+        let (t, rx, net) = pair(3, Arc::new(VecSink::new()));
+        net.cut(ProcessId(0), ProcessId(1));
+        t.send(ProcessId(1), &sample(0, 1));
+        assert!(rx.try_recv().is_err(), "cut link must swallow");
+        assert_eq!(net.cut_swallowed(), 1);
+        net.heal(ProcessId(0), ProcessId(1));
+        t.send(ProcessId(1), &sample(0, 2));
+        assert_eq!(rid_of(&rx.try_recv().unwrap()), 2);
+    }
+
+    #[test]
+    fn partition_cuts_cross_side_links_only() {
+        let net = ChaosNet::new(9);
+        let p = |n: u16| ProcessId(n);
+        net.partition(&[vec![p(0), p(1)], vec![p(2)]]);
+        assert!(net.is_cut(p(0), p(2)));
+        assert!(net.is_cut(p(2), p(1)));
+        assert!(!net.is_cut(p(0), p(1)));
+        net.heal_all();
+        assert!(!net.is_cut(p(0), p(2)));
+    }
+
+    #[test]
+    fn corruption_exercises_the_decoder_then_drops() {
+        let sink = Arc::new(VecSink::new());
+        let (t, rx, net) = pair(5, sink.clone());
+        net.set_default_plan(LinkPlan {
+            corrupt_ppm: 1_000_000,
+            ..LinkPlan::default()
+        });
+        for rid in 0..64 {
+            t.send(ProcessId(1), &sample(0, rid));
+        }
+        assert!(rx.try_recv().is_err(), "corrupted datagrams never arrive");
+        assert_eq!(net.injected(FaultKind::Corrupt), 64);
+        let corrupts = sink
+            .snapshot()
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::FaultInjected {
+                        pid: ProcessId(0),
+                        kind: FaultKind::Corrupt,
+                        target: ProcessId(1),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(corrupts, 64);
+    }
+
+    #[test]
+    fn duplicates_arrive_exactly_twice() {
+        let (t, rx, net) = pair(11, Arc::new(VecSink::new()));
+        net.set_default_plan(LinkPlan {
+            dup_ppm: 1_000_000,
+            ..LinkPlan::default()
+        });
+        for rid in 0..10 {
+            t.send(ProcessId(1), &sample(0, rid));
+        }
+        let got: Vec<u64> = rx.try_iter().map(|m| rid_of(&m)).collect();
+        let expect: Vec<u64> = (0..10).flat_map(|r| [r, r]).collect();
+        assert_eq!(got, expect);
+        assert_eq!(net.injected(FaultKind::Duplicate), 10);
+    }
+
+    #[test]
+    fn delayed_datagrams_arrive_late_but_arrive() {
+        let (t, rx, net) = pair(13, Arc::new(VecSink::new()));
+        net.set_default_plan(LinkPlan {
+            delay_ppm: 1_000_000,
+            delay_ms: 40,
+            ..LinkPlan::default()
+        });
+        t.send(ProcessId(1), &sample(0, 77));
+        assert!(rx.try_recv().is_err(), "must not arrive synchronously");
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("delayed datagram must eventually arrive");
+        assert_eq!(rid_of(&got), 77);
+        assert_eq!(net.injected(FaultKind::Delay), 1);
+    }
+
+    #[test]
+    fn reordered_datagram_is_overtaken_by_later_traffic() {
+        let (t, rx, net) = pair(17, Arc::new(VecSink::new()));
+        // Hold the first message back, then switch the plan off at
+        // runtime so the second goes straight through.
+        net.set_default_plan(LinkPlan {
+            reorder_ppm: 1_000_000,
+            hold_ms: 60,
+            ..LinkPlan::default()
+        });
+        t.send(ProcessId(1), &sample(0, 1));
+        net.set_default_plan(LinkPlan::clean());
+        t.send(ProcessId(1), &sample(0, 2));
+        let first = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(rid_of(&first), 2, "later traffic overtakes the held one");
+        assert_eq!(rid_of(&second), 1, "held datagram still arrives");
+        assert_eq!(net.injected(FaultKind::Reorder), 1);
+    }
+
+    #[test]
+    fn broadcast_decomposes_per_link() {
+        let (tx0, _rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let (tx2, rx2) = unbounded();
+        let mem = MemTransport::new(vec![tx0.into(), tx1.into(), tx2.into()]);
+        let net = ChaosNet::new(21);
+        let team = vec![ProcessId(0), ProcessId(1), ProcessId(2)];
+        let t = FaultTransport::new(
+            ProcessId(0),
+            team,
+            mem,
+            net.clone(),
+            Tracer::disabled(),
+        );
+        net.cut(ProcessId(0), ProcessId(1));
+        t.broadcast(ProcessId(0), &sample(0, 5));
+        assert!(rx1.try_recv().is_err(), "cut leg of the broadcast vanishes");
+        assert_eq!(rid_of(&rx2.try_recv().unwrap()), 5);
+    }
+
+    #[test]
+    fn lane_is_a_pure_function_of_its_key() {
+        let a: Vec<u64> = {
+            let mut r = lane(99, ProcessId(1), ProcessId(2), 7);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = lane(99, ProcessId(1), ProcessId(2), 7);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = lane(99, ProcessId(2), ProcessId(1), 7);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "link direction must matter");
+    }
+}

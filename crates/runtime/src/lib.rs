@@ -21,14 +21,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod event_loop;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod threaded;
 pub mod transport;
 
+pub use chaos::{ChaosCluster, ChaosController, ChaosOp, ChaosReport, ChaosSchedule, FaultBudget};
 pub use clock::{RealClock, RuntimeClock};
+pub use fault::{ChaosNet, ChaosRng, FaultTransport, LinkPlan};
 pub use metrics::NodeMetrics;
 pub use node::{
     spawn_cluster, spawn_cluster_recorded, spawn_cluster_recorded_traced, spawn_cluster_traced,
@@ -39,7 +43,9 @@ pub use transport::{MemTransport, Transport, UdpTransport};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::chaos::{ChaosCluster, ChaosController, ChaosOp, ChaosSchedule};
     pub use crate::clock::{RealClock, RuntimeClock};
+    pub use crate::fault::{ChaosNet, ChaosRng, FaultTransport, LinkPlan};
     pub use crate::metrics::NodeMetrics;
     pub use crate::node::{
         spawn_cluster, spawn_cluster_recorded, spawn_cluster_traced, spawn_udp_cluster,

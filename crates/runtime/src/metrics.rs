@@ -25,6 +25,8 @@ pub struct NodeMetrics {
     deliveries: Counter,
     views: Counter,
     dispatch_latency: Histogram,
+    inbox_dropped: Counter,
+    udp_recv_errors: Counter,
 }
 
 impl NodeMetrics {
@@ -38,13 +40,29 @@ impl NodeMetrics {
         let deliveries = registry.counter("deliveries");
         let views = registry.counter("views_installed");
         let dispatch_latency = registry.histogram("dispatch_latency_us", &LATENCY_BOUNDS_US);
+        let inbox_dropped = registry.counter("tw_inbox_dropped_total");
+        let udp_recv_errors = registry.counter("tw_udp_recv_errors_total");
         Arc::new(Self {
             registry,
             sends,
             deliveries,
             views,
             dispatch_latency,
+            inbox_dropped,
+            udp_recv_errors,
         })
+    }
+
+    /// Handle on the `tw_inbox_dropped_total` counter: datagrams shed
+    /// because the node's bounded inbox was full.
+    pub fn inbox_dropped(&self) -> Counter {
+        self.inbox_dropped.clone()
+    }
+
+    /// Handle on the `tw_udp_recv_errors_total` counter: transient UDP
+    /// socket errors absorbed as omissions by the receive loop.
+    pub fn udp_recv_errors(&self) -> Counter {
+        self.udp_recv_errors.clone()
     }
 
     /// Count one send/broadcast operation of `kind`.
@@ -105,6 +123,16 @@ mod tests {
         let s = m.snapshot();
         let h = s.histograms.get("dispatch_latency_us").expect("histogram");
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn overload_and_socket_error_counters_are_registered() {
+        let m = NodeMetrics::new();
+        m.inbox_dropped().add(3);
+        m.udp_recv_errors().inc();
+        let s = m.snapshot();
+        assert_eq!(s.counter("tw_inbox_dropped_total"), 3);
+        assert_eq!(s.counter("tw_udp_recv_errors_total"), 1);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! an in-process team over [`MemTransport`]; [`spawn_udp_cluster`] builds
 //! one over real UDP sockets.
 
+use crate::chaos::{NodeStatus, PauseGate, StatusCell};
 use crate::clock::{RealClock, RuntimeClock};
 use crate::metrics::NodeMetrics;
-use crate::transport::{Incoming, MemTransport, Transport, UdpTransport};
+use crate::transport::{node_inbox, Incoming, MemTransport, Transport, UdpTransport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
@@ -52,6 +53,13 @@ pub enum ExecutorKind {
     Threaded,
 }
 
+/// Bound on a node's inbox channel. When the node cannot keep up,
+/// excess datagrams are shed (counted in `tw_inbox_dropped_total`)
+/// instead of growing an unbounded queue — the datagram model permits
+/// the omission, and overload stays observable instead of becoming an
+/// OOM.
+pub const INBOX_CAPACITY: usize = 4096;
+
 /// A running protocol node.
 pub struct Node {
     /// The member's process id.
@@ -63,6 +71,8 @@ pub struct Node {
     udp: Option<Arc<UdpTransport>>,
     metrics: Arc<NodeMetrics>,
     recorder: Option<Arc<FlightRecorder>>,
+    gate: Arc<PauseGate>,
+    status: Arc<StatusCell>,
 }
 
 impl Node {
@@ -101,8 +111,29 @@ impl Node {
         let _ = self.cmds.send(NodeCommand::Propose(payload, semantics));
     }
 
+    /// Freeze this node's executor threads at their next dispatch
+    /// (chaos harness: fake arbitrarily slow processing). The node's
+    /// peers see silence, exactly as for a performance failure.
+    pub fn pause(&self) {
+        self.gate.pause();
+    }
+
+    /// Unfreeze a paused node.
+    pub fn resume(&self) {
+        self.gate.resume();
+    }
+
+    /// The member's locally observed status (fail-awareness §6),
+    /// published by the executor after every dispatch.
+    pub fn status(&self) -> NodeStatus {
+        self.status.read()
+    }
+
     /// Stop the node and join its threads.
     pub fn shutdown(mut self) {
+        // A paused node must be released or its threads never observe
+        // the shutdown.
+        self.gate.resume();
         let _ = self.cmds.send(NodeCommand::Shutdown);
         if let Some(udp) = &self.udp {
             udp.shutdown();
@@ -173,32 +204,56 @@ pub(crate) struct NodeParts {
     /// The node's black box; the executor holds a flush guard on its
     /// stack so the tail is persisted even on panic unwind.
     pub recorder: Option<Arc<FlightRecorder>>,
+    /// Chaos pause switch; executors check it before every dispatch.
+    pub gate: Arc<PauseGate>,
+    /// Where the executor publishes the member's observed status.
+    pub status: Arc<StatusCell>,
 }
 
-fn spawn_node(
-    kind: ExecutorKind,
-    member: Member,
-    inbox: Receiver<Incoming>,
-    transport: Arc<dyn Transport>,
-    udp: Option<Arc<UdpTransport>>,
-    mut extra_handles: Vec<std::thread::JoinHandle<()>>,
-    hook: Option<DeliveryHook>,
-    recorder: Option<Arc<FlightRecorder>>,
-) -> Node {
+/// Everything [`spawn_node`] needs to host one member.
+pub(crate) struct SpawnArgs {
+    pub kind: ExecutorKind,
+    pub member: Member,
+    pub inbox: Receiver<Incoming>,
+    pub transport: Arc<dyn Transport>,
+    pub udp: Option<Arc<UdpTransport>>,
+    pub extra_handles: Vec<std::thread::JoinHandle<()>>,
+    pub hook: Option<DeliveryHook>,
+    pub recorder: Option<Arc<FlightRecorder>>,
+    pub metrics: Arc<NodeMetrics>,
+    pub clock: Arc<dyn RuntimeClock + Sync>,
+}
+
+pub(crate) fn spawn_node(args: SpawnArgs) -> Node {
+    let SpawnArgs {
+        kind,
+        member,
+        inbox,
+        transport,
+        udp,
+        mut extra_handles,
+        hook,
+        recorder,
+        metrics,
+        clock,
+    } = args;
     let pid = member.pid();
     let (cmd_tx, cmd_rx) = unbounded();
     let (out_tx, out_rx) = unbounded();
-    let metrics = NodeMetrics::new();
+    let gate = Arc::new(PauseGate::new());
+    let status = Arc::new(StatusCell::new());
     let parts = NodeParts {
         member,
         inbox,
         cmds: cmd_rx,
         out: out_tx,
         transport,
-        clock: Arc::new(RealClock::new()),
+        clock,
         hook,
         metrics: metrics.clone(),
         recorder: recorder.clone(),
+        gate: gate.clone(),
+        status: status.clone(),
     };
     let main = std::thread::Builder::new()
         .name(format!("tw-node-{pid}"))
@@ -216,6 +271,8 @@ fn spawn_node(
         udp,
         metrics,
         recorder,
+        gate,
+        status,
     }
 }
 
@@ -329,10 +386,13 @@ fn spawn_cluster_inner(
     recorders: Option<Vec<Arc<FlightRecorder>>>,
 ) -> Vec<Node> {
     let n = cfg.n;
+    // Metrics exist before the inboxes so each bounded inbox can count
+    // its shed datagrams into its node's `tw_inbox_dropped_total`.
+    let metrics: Vec<Arc<NodeMetrics>> = (0..n).map(|_| NodeMetrics::new()).collect();
     let mut inbox_txs = Vec::with_capacity(n);
     let mut inbox_rxs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
+    for m in &metrics {
+        let (tx, rx) = node_inbox(INBOX_CAPACITY, Some(m.inbox_dropped()));
         inbox_txs.push(tx);
         inbox_rxs.push(rx);
     }
@@ -356,16 +416,18 @@ fn spawn_cluster_inner(
             if let Some(s) = node_sink {
                 member.set_tracer(Tracer::new(s));
             }
-            spawn_node(
+            spawn_node(SpawnArgs {
                 kind,
                 member,
                 inbox,
-                transport.clone() as Arc<dyn Transport>,
-                None,
-                Vec::new(),
-                make_hook(pid),
+                transport: transport.clone() as Arc<dyn Transport>,
+                udp: None,
+                extra_handles: Vec::new(),
+                hook: make_hook(pid),
                 recorder,
-            )
+                metrics: metrics[i].clone(),
+                clock: Arc::new(RealClock::new()),
+            })
         })
         .collect()
 }
@@ -392,19 +454,22 @@ pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec
     for (i, addr) in addrs.iter().enumerate() {
         let pid = ProcessId(i as u16);
         let transport = UdpTransport::bind(pid, *addr, peers.clone())?;
-        let (inbox_tx, inbox_rx) = unbounded();
-        let rx_handle = transport.spawn_receiver(inbox_tx);
+        let metrics = NodeMetrics::new();
+        let (inbox_tx, inbox_rx) = node_inbox(INBOX_CAPACITY, Some(metrics.inbox_dropped()));
+        let rx_handle = transport.spawn_receiver(inbox_tx, Some(metrics.udp_recv_errors()));
         let member = Member::new_unchecked(pid, cfg);
-        nodes.push(spawn_node(
+        nodes.push(spawn_node(SpawnArgs {
             kind,
             member,
-            inbox_rx,
-            transport.clone() as Arc<dyn Transport>,
-            Some(transport),
-            vec![rx_handle],
-            None,
-            None,
-        ));
+            inbox: inbox_rx,
+            transport: transport.clone() as Arc<dyn Transport>,
+            udp: Some(transport),
+            extra_handles: vec![rx_handle],
+            hook: None,
+            recorder: None,
+            metrics,
+            clock: Arc::new(RealClock::new()),
+        }));
     }
     Ok(nodes)
 }

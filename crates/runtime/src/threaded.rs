@@ -25,6 +25,8 @@ pub(crate) fn run(parts: NodeParts) {
         hook,
         metrics,
         recorder,
+        gate,
+        status,
     } = parts;
     // Held on the command-loop stack so the flight recorder's tail is
     // spilled even if this thread panics (the Node's Arc keeps the
@@ -74,8 +76,10 @@ pub(crate) fn run(parts: NodeParts) {
             let next_clock = next_clock.clone();
             let hook = hook.clone();
             let metrics = metrics.clone();
+            let gate = gate.clone();
             handles.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
+                    gate.block_while_paused();
                     match rx.recv_timeout(StdDuration::from_millis(20)) {
                         Ok((from, msg)) => {
                             let started = std::time::Instant::now();
@@ -105,8 +109,10 @@ pub(crate) fn run(parts: NodeParts) {
             }));
         }
         let stop = stop.clone();
+        let gate = gate.clone();
         handles.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
+                gate.block_while_paused();
                 match inbox.recv_timeout(StdDuration::from_millis(20)) {
                     Ok(Incoming::Msg(from, msg)) => {
                         if let Some(tx) = kind_txs.get(&msg.kind()) {
@@ -130,9 +136,12 @@ pub(crate) fn run(parts: NodeParts) {
         let next_clock = next_clock.clone();
         let hook = hook.clone();
         let metrics = metrics.clone();
+        let gate = gate.clone();
+        let status = status.clone();
         handles.push(std::thread::spawn(move || {
             let period = StdDuration::from_micros(tick.as_micros() as u64);
             while !stop.load(Ordering::Relaxed) {
+                gate.block_while_paused();
                 std::thread::sleep(period);
                 let now = clock.now_hw();
                 let actions = member.lock().on_tick(now);
@@ -151,6 +160,15 @@ pub(crate) fn run(parts: NodeParts) {
                 if let Some(s) = snap {
                     member.lock().set_app_snapshot(s);
                 }
+                // Publish the member's locally observed status (§6
+                // fail-awareness) for harness-side checks.
+                let now = clock.now_hw();
+                let m = member.lock();
+                status.publish(crate::chaos::NodeStatus {
+                    up_to_date: m.is_up_to_date(now),
+                    view_len: m.view().len(),
+                    view_seq: m.view().id.seq,
+                });
             }
         }));
     }
@@ -165,8 +183,10 @@ pub(crate) fn run(parts: NodeParts) {
         let next_clock = next_clock.clone();
         let hook = hook.clone();
         let metrics = metrics.clone();
+        let gate = gate.clone();
         handles.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
+                gate.block_while_paused();
                 let now = clock.now_hw();
                 let due = next_clock.load(Ordering::Relaxed);
                 if now.0 >= due {

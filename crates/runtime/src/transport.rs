@@ -9,11 +9,17 @@
 //! * [`UdpTransport`] — real UDP sockets on localhost (or any address
 //!   map), using the binary wire codec. Genuinely lossy under load,
 //!   exactly the substrate the paper deployed on.
+//!
+//! Node inboxes are **bounded**: when a node cannot keep up, excess
+//! datagrams are shed (the datagram model permits omission) and counted
+//! in `tw_inbox_dropped_total`, so overload degrades gracefully and
+//! observably instead of growing an unbounded queue.
 
-use crossbeam::channel::Sender;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
+use tw_obs::Counter;
 use tw_proto::{Decode, Encode, Msg, ProcessId};
 
 /// A way for one node to put datagrams on the wire.
@@ -32,15 +38,70 @@ pub enum Incoming {
     Msg(ProcessId, Msg),
 }
 
+/// What became of a datagram handed to an inbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deliver {
+    /// Queued for the node.
+    Delivered,
+    /// Inbox full — shed (an omission; counted when a counter is
+    /// attached).
+    Shed,
+    /// The node is gone; datagrams to crashed processes vanish.
+    Closed,
+}
+
+/// The sending half of a node inbox: a channel plus the shed counter.
+/// Never blocks — a full inbox sheds the datagram, which the protocol
+/// treats exactly like network loss.
+#[derive(Clone)]
+pub struct InboxSender {
+    tx: Sender<Incoming>,
+    dropped: Option<Counter>,
+}
+
+impl InboxSender {
+    /// Wrap a channel sender; `dropped` counts shed datagrams.
+    pub fn new(tx: Sender<Incoming>, dropped: Option<Counter>) -> Self {
+        InboxSender { tx, dropped }
+    }
+
+    /// Offer one datagram to the node.
+    pub fn deliver(&self, inc: Incoming) -> Deliver {
+        match self.tx.try_send(inc) {
+            Ok(()) => Deliver::Delivered,
+            Err(TrySendError::Full(_)) => {
+                if let Some(c) = &self.dropped {
+                    c.inc();
+                }
+                Deliver::Shed
+            }
+            Err(TrySendError::Disconnected(_)) => Deliver::Closed,
+        }
+    }
+}
+
+impl From<Sender<Incoming>> for InboxSender {
+    fn from(tx: Sender<Incoming>) -> Self {
+        InboxSender::new(tx, None)
+    }
+}
+
+/// Build a bounded node inbox that sheds on overflow; `dropped` is
+/// bumped per shed datagram (wire it to `tw_inbox_dropped_total`).
+pub fn node_inbox(capacity: usize, dropped: Option<Counter>) -> (InboxSender, Receiver<Incoming>) {
+    let (tx, rx) = bounded(capacity.max(1));
+    (InboxSender::new(tx, dropped), rx)
+}
+
 /// In-process channel mesh: node `i`'s sender delivers into node `i`'s
 /// inbox channel.
 pub struct MemTransport {
-    inboxes: Vec<Sender<Incoming>>,
+    inboxes: Vec<InboxSender>,
 }
 
 impl MemTransport {
     /// Build a mesh over the given inbox senders (index = rank).
-    pub fn new(inboxes: Vec<Sender<Incoming>>) -> Arc<Self> {
+    pub fn new(inboxes: Vec<InboxSender>) -> Arc<Self> {
         Arc::new(MemTransport { inboxes })
     }
 
@@ -58,18 +119,38 @@ impl MemTransport {
 impl Transport for MemTransport {
     fn send(&self, to: ProcessId, msg: &Msg) {
         if let Some(tx) = self.inboxes.get(to.rank()) {
-            // The receiver may have shut down; that is a crash, and
-            // datagrams to crashed processes vanish.
-            let _ = tx.send(Incoming::Msg(msg.sender(), msg.clone()));
+            // Shed and closed inboxes both read as datagram loss.
+            let _ = tx.deliver(Incoming::Msg(msg.sender(), msg.clone()));
         }
     }
 
     fn broadcast(&self, from: ProcessId, msg: &Msg) {
         for (rank, tx) in self.inboxes.iter().enumerate() {
             if rank != from.rank() {
-                let _ = tx.send(Incoming::Msg(from, msg.clone()));
+                let _ = tx.deliver(Incoming::Msg(from, msg.clone()));
             }
         }
+    }
+}
+
+/// What the UDP receive loop should do about a socket error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecvErrorAction {
+    /// Expected poll-timeout wakeup: loop again, reset any backoff.
+    Poll,
+    /// Transient fault (e.g. an ICMP-induced `ConnectionReset` on
+    /// Windows/Linux, `Interrupted`, resource pressure): count it as an
+    /// omission and retry after a bounded backoff. A datagram service
+    /// has no connection to lose, so no socket error here is fatal.
+    Retry,
+}
+
+/// Classify a `recv_from` error. Kept pure so the policy is testable
+/// without a socket.
+pub(crate) fn classify_recv_error(kind: std::io::ErrorKind) -> RecvErrorAction {
+    match kind {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RecvErrorAction::Poll,
+        _ => RecvErrorAction::Retry,
     }
 }
 
@@ -103,10 +184,14 @@ impl UdpTransport {
     }
 
     /// Spawn the receive loop: decodes datagrams and forwards them into
-    /// `inbox` until the socket errors or the inbox closes.
+    /// `inbox` until shutdown is requested or the inbox closes. Socket
+    /// errors are treated as omissions — counted into `recv_errors`
+    /// (wire it to `tw_udp_recv_errors_total`) and retried with a
+    /// bounded backoff — never as a reason to abandon the socket.
     pub fn spawn_receiver(
         self: &Arc<Self>,
-        inbox: Sender<Incoming>,
+        inbox: InboxSender,
+        recv_errors: Option<Counter>,
     ) -> std::thread::JoinHandle<()> {
         let me = self.clone();
         std::thread::Builder::new()
@@ -117,25 +202,36 @@ impl UdpTransport {
                 let _ = me
                     .socket
                     .set_read_timeout(Some(std::time::Duration::from_millis(200)));
+                let min_backoff = std::time::Duration::from_millis(1);
+                let max_backoff = std::time::Duration::from_millis(100);
+                let mut backoff = min_backoff;
                 loop {
                     if me.stop.load(std::sync::atomic::Ordering::Relaxed) {
                         return;
                     }
                     match me.socket.recv_from(&mut buf) {
                         Ok((len, _src)) => {
+                            backoff = min_backoff;
                             if let Ok(msg) = Msg::from_bytes(&buf[..len]) {
                                 let from = msg.sender();
-                                if inbox.send(Incoming::Msg(from, msg)).is_err() {
+                                if inbox.deliver(Incoming::Msg(from, msg)) == Deliver::Closed {
                                     return;
                                 }
                             }
                             // Undecodable datagrams are dropped — the
-                            // model's omission failure.
+                            // model's omission failure. So are shed ones
+                            // (inbox full).
                         }
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut => {}
-                        Err(_) => return,
+                        Err(e) => match classify_recv_error(e.kind()) {
+                            RecvErrorAction::Poll => backoff = min_backoff,
+                            RecvErrorAction::Retry => {
+                                if let Some(c) = &recv_errors {
+                                    c.inc();
+                                }
+                                std::thread::sleep(backoff);
+                                backoff = (backoff * 2).min(max_backoff);
+                            }
+                        },
                     }
                 }
             })
@@ -178,7 +274,7 @@ mod tests {
     fn mem_transport_send_routes_to_inbox() {
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
-        let t = MemTransport::new(vec![tx0, tx1]);
+        let t = MemTransport::new(vec![tx0.into(), tx1.into()]);
         t.send(ProcessId(1), &sample(0));
         match rx1.try_recv().unwrap() {
             Incoming::Msg(from, _) => assert_eq!(from, ProcessId(0)),
@@ -191,7 +287,7 @@ mod tests {
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
         let (tx2, rx2) = unbounded();
-        let t = MemTransport::new(vec![tx0, tx1, tx2]);
+        let t = MemTransport::new(vec![tx0.into(), tx1.into(), tx2.into()]);
         t.broadcast(ProcessId(1), &sample(1));
         assert!(rx0.try_recv().is_ok());
         assert!(rx1.try_recv().is_err());
@@ -203,10 +299,46 @@ mod tests {
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
         drop(rx1);
-        let t = MemTransport::new(vec![tx0, tx1]);
+        let t = MemTransport::new(vec![tx0.into(), tx1.into()]);
         t.broadcast(ProcessId(0), &sample(0)); // must not panic
         drop(rx0);
         t.send(ProcessId(1), &sample(0));
+    }
+
+    #[test]
+    fn bounded_inbox_sheds_and_counts_overflow() {
+        let dropped = Counter::default();
+        let (tx, rx) = node_inbox(2, Some(dropped.clone()));
+        let mesh = MemTransport::new(vec![InboxSender::new(
+            crossbeam::channel::unbounded().0, // rank 0 unused
+            None,
+        ), tx]);
+        for _ in 0..5 {
+            mesh.send(ProcessId(1), &sample(0));
+        }
+        assert_eq!(rx.try_iter().count(), 2, "capacity bounds the queue");
+        assert_eq!(dropped.get(), 3, "overflow is shed and counted");
+    }
+
+    #[test]
+    fn inbox_sender_reports_closure() {
+        let (tx, rx) = node_inbox(4, None);
+        drop(rx);
+        assert_eq!(
+            tx.deliver(Incoming::Msg(ProcessId(0), sample(0))),
+            Deliver::Closed
+        );
+    }
+
+    #[test]
+    fn recv_error_classification_only_exits_never() {
+        use std::io::ErrorKind::*;
+        assert_eq!(classify_recv_error(WouldBlock), RecvErrorAction::Poll);
+        assert_eq!(classify_recv_error(TimedOut), RecvErrorAction::Poll);
+        // The ICMP port-unreachable case that used to kill the loop.
+        assert_eq!(classify_recv_error(ConnectionReset), RecvErrorAction::Retry);
+        assert_eq!(classify_recv_error(Interrupted), RecvErrorAction::Retry);
+        assert_eq!(classify_recv_error(Other), RecvErrorAction::Retry);
     }
 
     #[test]
@@ -224,7 +356,7 @@ mod tests {
         let ta = UdpTransport::bind(ProcessId(0), addr_a, peers.clone()).unwrap();
         let tb = UdpTransport::bind(ProcessId(1), addr_b, peers).unwrap();
         let (tx, rx) = unbounded();
-        let _h = tb.spawn_receiver(tx);
+        let _h = tb.spawn_receiver(tx.into(), None);
         ta.send(ProcessId(1), &sample(0));
         match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
             Incoming::Msg(from, msg) => {

@@ -42,6 +42,14 @@ copy_crate() {
 }
 
 copy_crate proto
+copy_chaos_bin() {
+  # The chaos harness binary lives in tw-bench, whose other experiment
+  # bins need serde_json/criterion (not stubbed). Shadow-check the
+  # binary alone as its own package so it cannot rot offline.
+  mkdir -p "$build/chaos/src/bin"
+  cp -p "$repo/crates/bench/src/bin/tw-chaos.rs" "$build/chaos/src/bin/tw-chaos.rs"
+}
+copy_chaos_bin
 copy_crate obs
 copy_crate clock
 copy_crate sim
@@ -160,10 +168,28 @@ crossbeam = { path = "$stubs/crossbeam" }
 serde = { path = "$stubs/serde", features = ["derive"] }
 EOF
 
+cat > "$build/chaos/Cargo.toml" <<EOF
+[package]
+name = "tw-chaos-shadow"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+timewheel = { path = "../core" }
+tw-proto = { path = "../proto" }
+tw-obs = { path = "../obs" }
+tw-runtime = { path = "../runtime" }
+bytes = { path = "$stubs/bytes" }
+
+[[bin]]
+name = "tw-chaos"
+path = "src/bin/tw-chaos.rs"
+EOF
+
 cat > "$build/Cargo.toml" <<EOF
 [workspace]
 resolver = "2"
-members = ["proto", "obs", "clock", "sim", "core", "runtime", "rsm", "xtask"]
+members = ["proto", "obs", "clock", "sim", "core", "runtime", "rsm", "xtask", "chaos"]
 EOF
 
 cd "$build"
@@ -178,7 +204,7 @@ cargo check --offline --workspace --all-targets
 # `select!` stub they starve each other and never form a group, so they
 # are compile-checked above (--all-targets) but executed only by CI,
 # which has the real crossbeam and multi-core runners.
-rm -f runtime/tests/cluster.rs
+rm -f runtime/tests/cluster.rs runtime/tests/chaos_cluster.rs
 cargo test --offline --workspace "$@" -- --skip "cluster::tests::"
 
 # The tw-trace analyzer CLI must build and run offline (its end-to-end

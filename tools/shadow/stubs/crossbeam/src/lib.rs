@@ -15,6 +15,8 @@ pub mod channel {
         q: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `None` for unbounded channels, `Some(cap)` for bounded ones.
+        cap: Option<usize>,
     }
 
     struct Shared<T> {
@@ -38,6 +40,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Outcome of a non-blocking send attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
     /// The channel is empty and disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -60,17 +71,27 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 q: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                cap,
             }),
             cv: Condvar::new(),
         });
         (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Create a bounded channel that holds at most `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
     }
 
     impl<T> Sender<T> {
@@ -79,6 +100,24 @@ pub mod channel {
             let mut st = self.0.lock();
             if st.receivers == 0 {
                 return Err(SendError(value));
+            }
+            st.q.push_back(value);
+            drop(st);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+
+        /// Queue a value without blocking; fails when the channel is at
+        /// capacity or every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = st.cap {
+                if st.q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             st.q.push_back(value);
             drop(st);
@@ -132,6 +171,11 @@ pub mod channel {
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
+        }
+
+        /// Drain whatever is queued right now without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
         }
 
         /// Receive with a deadline.
@@ -258,6 +302,17 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_disconnected() {
+        let (tx, rx) = bounded::<i32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
