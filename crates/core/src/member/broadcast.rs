@@ -39,29 +39,52 @@ impl Member {
         payload: Bytes,
         semantics: Semantics,
     ) -> Result<Vec<Action>, ProposeError> {
+        self.propose_batch(now_hw, std::iter::once((payload, semantics)))
+    }
+
+    /// Broadcast a batch of client updates in one dispatch.
+    ///
+    /// The pending-proposal drain of the hot path: every queued update
+    /// shares one clock read and one delivery pass, and the contiguous
+    /// `Broadcast` actions let the runtime coalesce the whole batch into
+    /// a single multi-frame datagram per destination. Each proposal still
+    /// gets its own strictly-increasing `send_ts` (receivers dedup on
+    /// timestamps) and its own sequence number, so the per-sender FIFO
+    /// order and the §3 total order are exactly those of sequential
+    /// `propose` calls. An empty batch is a no-op returning no actions.
+    pub fn propose_batch(
+        &mut self,
+        now_hw: HwTime,
+        batch: impl IntoIterator<Item = (Bytes, Semantics)>,
+    ) -> Result<Vec<Action>, ProposeError> {
         self.trace_hw = now_hw;
         let now = self.clock.read(now_hw).ok_or(ProposeError::NotSynced)?;
         if self.view.is_empty() || !self.view.contains(self.pid) {
             return Err(ProposeError::NotMember);
         }
-        self.my_seq += 1;
-        let send_ts = self.stamp(now);
-        let hdo = self
-            .oal
-            .highest_ordinal()
-            .unwrap_or(tw_proto::Ordinal::ZERO);
-        let p = Proposal {
-            sender: self.pid,
-            incarnation: self.incarnation,
-            seq: self.my_seq,
-            send_ts,
-            hdo,
-            semantics,
-            payload,
-        };
-        let mut actions = vec![Action::Broadcast(Msg::Proposal(p.clone()))];
-        self.buf.insert(p);
-        self.try_deliver(now, &mut actions);
+        let mut actions = Vec::new();
+        for (payload, semantics) in batch {
+            self.my_seq += 1;
+            let send_ts = self.stamp(now);
+            let hdo = self
+                .oal
+                .highest_ordinal()
+                .unwrap_or(tw_proto::Ordinal::ZERO);
+            let p = Proposal {
+                sender: self.pid,
+                incarnation: self.incarnation,
+                seq: self.my_seq,
+                send_ts,
+                hdo,
+                semantics,
+                payload,
+            };
+            actions.push(Action::Broadcast(Msg::Proposal(p.clone())));
+            self.buf.insert(p);
+        }
+        if !actions.is_empty() {
+            self.try_deliver(now, &mut actions);
+        }
         Ok(actions)
     }
 

@@ -509,28 +509,55 @@ impl Member {
         if from == self.pid {
             return actions; // own broadcast echo (possible on UDP runtimes)
         }
+        self.dispatch_one(now_hw, from, msg, &mut actions);
+        actions
+    }
+
+    /// Apply a batch of messages received from `from` in one dispatch —
+    /// the decode of one multi-frame datagram.
+    ///
+    /// Semantically this is exactly `on_message` in a loop (each message
+    /// drives deliveries before the next is applied, so the §3 delivery
+    /// order and the Deliver/InstallView interleaving are identical to
+    /// sequential processing — `tests/batch_order.rs` pins this down);
+    /// the batching win is one handler entry, one actions vector and one
+    /// coalesced outbound flush for the whole datagram.
+    pub fn on_messages(&mut self, now_hw: HwTime, from: ProcessId, msgs: Vec<Msg>) -> Vec<Action> {
+        self.trace_hw = now_hw;
+        let mut actions = Vec::new();
+        if from == self.pid {
+            return actions; // own broadcast echo (possible on UDP runtimes)
+        }
+        for msg in msgs {
+            self.dispatch_one(now_hw, from, msg, &mut actions);
+        }
+        actions
+    }
+
+    /// Dispatch one received message, appending its actions. Shared body
+    /// of [`Member::on_message`] and [`Member::on_messages`].
+    fn dispatch_one(&mut self, now_hw: HwTime, from: ProcessId, msg: Msg, actions: &mut Vec<Action>) {
         if let Msg::ClockSync(cs) = msg {
             for a in self.clock.handle(now_hw, ClockEvent::Msg { from, msg: cs }) {
                 actions.push(map_clock_action(a));
             }
-            return actions;
+            return;
         }
         // Everything else needs a synchronized clock to timestamp-check.
         let Some(now) = self.clock.read(now_hw) else {
-            return actions;
+            return;
         };
         match msg {
             Msg::ClockSync(_) => unreachable!("handled above"),
-            Msg::Proposal(p) => self.handle_proposal(now, p, &mut actions),
-            Msg::StateTransfer(st) => self.handle_state_transfer(now, st, &mut actions),
-            Msg::Decision(d) => self.handle_decision(now, d, &mut actions),
-            Msg::NoDecision(nd) => self.handle_no_decision(now, nd, &mut actions),
-            Msg::Join(j) => self.handle_join(now, j, &mut actions),
-            Msg::Reconfig(r) => self.handle_reconfig(now, r, &mut actions),
-            Msg::Nack(nk) => self.handle_nack(nk, &mut actions),
+            Msg::Proposal(p) => self.handle_proposal(now, p, actions),
+            Msg::StateTransfer(st) => self.handle_state_transfer(now, st, actions),
+            Msg::Decision(d) => self.handle_decision(now, d, actions),
+            Msg::NoDecision(nd) => self.handle_no_decision(now, nd, actions),
+            Msg::Join(j) => self.handle_join(now, j, actions),
+            Msg::Reconfig(r) => self.handle_reconfig(now, r, actions),
+            Msg::Nack(nk) => self.handle_nack(nk, actions),
         }
-        self.try_deliver(now, &mut actions);
-        actions
+        self.try_deliver(now, actions);
     }
 
     // ---- shared helpers --------------------------------------------------

@@ -49,6 +49,12 @@ pub enum WireError {
         /// How many bytes remained.
         remaining: usize,
     },
+    /// A framed datagram whose leading version byte is not a version
+    /// this build understands (see [`crate::frame::WIRE_VERSION`]).
+    BadVersion {
+        /// The offending first byte.
+        found: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -59,6 +65,9 @@ impl fmt::Display for WireError {
             WireError::TooLong { what, len } => write!(f, "length {len} too long decoding {what}"),
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after message")
+            }
+            WireError::BadVersion { found } => {
+                write!(f, "unknown wire version byte {found:#04x}")
             }
         }
     }

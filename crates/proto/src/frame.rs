@@ -1,0 +1,1296 @@
+//! Zero-copy framed wire format (wire version 2).
+//!
+//! The hot-path replacement for the fixed-width [`codec`](crate::codec)
+//! format: a datagram is a **version byte** followed by one or more
+//! **length-prefixed LEB128 frames**, each frame holding exactly one
+//! [`Msg`] encoded with variable-length integers. Batching many messages
+//! into one datagram is what lets the runtime amortize one syscall over a
+//! whole tick's traffic; varints are what keep the common small ordinals,
+//! ranks and sequence numbers at one byte each.
+//!
+//! ```text
+//! datagram := version-byte frame*
+//! frame    := len:uvarint body          (len = |body| in bytes)
+//! body     := tag:u8 fields*            (same tags/field order as v1)
+//! uvarint  := unsigned LEB128, ≤ 10 bytes
+//! ivarint  := zigzag(i64) as uvarint
+//! ```
+//!
+//! Encoding goes through a [`WireCursor`] writing into a **caller-owned
+//! `Vec<u8>` scratch** that is reused across sends — steady-state sending
+//! allocates nothing. Decoding goes through a [`FrameRef`], a borrowed
+//! cursor over `&[u8]`: parsing never copies the datagram; only the
+//! variable-length payload fields of an owned [`Msg`] are copied out of
+//! the frame at the very end.
+//!
+//! The encoder emits frame length prefixes as **padded 4-byte LEB128**
+//! (continuation bits set on the first three bytes) so a frame can be
+//! length-patched in place after its body is written, keeping the whole
+//! datagram in one buffer. LEB128 tolerates such non-canonical encodings;
+//! the decoder accepts any valid LEB128 length.
+//!
+//! Version policy: a v2 datagram's first byte is [`VERSION_BYTE`]
+//! (`0xD0 | version`). v1 messages began with a variant tag `0..=7`, so
+//! the two can never be confused. Receivers reject any other leading byte
+//! with [`WireError::BadVersion`] — there is no silent fallback; see
+//! DESIGN.md §12 for the compatibility policy.
+
+use crate::codec::WireError;
+use crate::ids::{Incarnation, Ordinal, ProcessId, ProposalId};
+use crate::messages::{
+    ClockSyncMsg, Decision, Join, Msg, Nack, NoDecision, Proposal, Reconfig, StateTransfer,
+    UpdateDesc,
+};
+use crate::oal::{AckBits, Descriptor, DescriptorBody, Oal};
+use crate::semantics::{Atomicity, Ordering, Semantics};
+use crate::time::{HwTime, SyncTime};
+use crate::view::{View, ViewId};
+use bytes::Bytes;
+
+/// Current wire format version.
+pub const WIRE_VERSION: u8 = 2;
+
+/// First byte of every framed datagram: `0xD0 | WIRE_VERSION`. The high
+/// nibble keeps it out of the v1 tag space (`0..=7`).
+pub const VERSION_BYTE: u8 = 0xD0 | WIRE_VERSION;
+
+/// Sanity cap on a single frame's body length (bytes). Also the largest
+/// value the padded 4-byte length prefix can carry.
+pub const MAX_FRAME_LEN: usize = (1 << 28) - 1;
+
+/// Sanity cap on any decoded sequence length (items, not bytes).
+const MAX_SEQ: usize = 1 << 20;
+
+/// Longest legal LEB128 encoding of a u64.
+const MAX_VARINT_BYTES: usize = 10;
+
+// ---------------------------------------------------------------------------
+// varint primitives
+// ---------------------------------------------------------------------------
+
+/// Append `v` to `buf` as unsigned LEB128 (1–10 bytes).
+#[inline]
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-map a signed value so small magnitudes encode small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decode an unsigned LEB128 value from the front of `buf`.
+/// Returns `(value, bytes_consumed)`.
+#[inline]
+pub fn read_uvarint(buf: &[u8], what: &'static str) -> Result<(u64, usize), WireError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate().take(MAX_VARINT_BYTES) {
+        let data = (byte & 0x7F) as u64;
+        // The 10th byte may only contribute the low bit of the 64-bit
+        // value; anything more overflows.
+        if shift == 63 && data > 1 {
+            return Err(WireError::TooLong {
+                what,
+                len: usize::MAX,
+            });
+        }
+        value |= data << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    if buf.len() < MAX_VARINT_BYTES {
+        Err(WireError::UnexpectedEof { what })
+    } else {
+        // 10 continuation bytes and still going: not a valid u64.
+        Err(WireError::TooLong {
+            what,
+            len: usize::MAX,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WireCursor — the writer
+// ---------------------------------------------------------------------------
+
+/// Append-only encoder over a caller-owned `Vec<u8>` scratch.
+///
+/// The scratch is cleared by the *owner* (e.g. [`FrameBuilder::reset`]),
+/// not the cursor, so one allocation serves many sends. All `put_*`
+/// methods append; [`WireCursor::begin_frame`]/[`WireCursor::end_frame`]
+/// bracket a frame whose length is patched in place when it closes.
+pub struct WireCursor<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+/// Handle returned by [`WireCursor::begin_frame`], consumed by
+/// [`WireCursor::end_frame`].
+#[derive(Debug)]
+#[must_use = "an open frame must be closed with end_frame"]
+pub struct FrameToken {
+    len_at: usize,
+}
+
+impl<'a> WireCursor<'a> {
+    /// Wrap a scratch buffer. Existing contents are kept (the cursor
+    /// appends), so a datagram can be built incrementally.
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        WireCursor { buf }
+    }
+
+    /// Bytes written so far (including anything already in the scratch).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the scratch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one raw byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append an unsigned LEB128 varint.
+    #[inline]
+    pub fn put_uvarint(&mut self, v: u64) {
+        put_uvarint(self.buf, v);
+    }
+
+    /// Append a zigzag signed LEB128 varint.
+    #[inline]
+    pub fn put_ivarint(&mut self, v: i64) {
+        put_uvarint(self.buf, zigzag(v));
+    }
+
+    /// Append a length-prefixed byte string (uvarint length + bytes).
+    #[inline]
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_uvarint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append `true`/`false` as one byte.
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Open a frame: reserves a padded 4-byte LEB128 length prefix and
+    /// returns the token [`WireCursor::end_frame`] needs to patch it.
+    pub fn begin_frame(&mut self) -> FrameToken {
+        let len_at = self.buf.len();
+        self.buf.extend_from_slice(&[0x80, 0x80, 0x80, 0x00]);
+        FrameToken { len_at }
+    }
+
+    /// Close a frame: patch its length prefix with the number of body
+    /// bytes written since [`WireCursor::begin_frame`].
+    ///
+    /// # Panics
+    /// If the body exceeds [`MAX_FRAME_LEN`] — a frame that large cannot
+    /// be a datagram and indicates a logic error in the caller.
+    pub fn end_frame(&mut self, token: FrameToken) {
+        let body_len = self.buf.len() - token.len_at - 4;
+        assert!(body_len <= MAX_FRAME_LEN, "frame body exceeds MAX_FRAME_LEN");
+        let len = body_len as u32;
+        self.buf[token.len_at] = (len & 0x7F) as u8 | 0x80;
+        self.buf[token.len_at + 1] = ((len >> 7) & 0x7F) as u8 | 0x80;
+        self.buf[token.len_at + 2] = ((len >> 14) & 0x7F) as u8 | 0x80;
+        self.buf[token.len_at + 3] = ((len >> 21) & 0x7F) as u8;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrameRef — the borrowed reader
+// ---------------------------------------------------------------------------
+
+/// A borrowed decoding cursor over `&[u8]` — one frame's body, or any
+/// byte string being decoded in place.
+///
+/// Nothing is copied while parsing: [`FrameRef::take`] returns subslices
+/// of the original datagram. Only when an owned [`Msg`] is materialized
+/// are its payload fields ([`Bytes`]) copied out.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameRef<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameRef<'a> {
+    /// Wrap a byte string.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameRef { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole frame was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// The full underlying frame body (position-independent).
+    pub fn as_slice(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Consume `n` bytes, returning them as a borrowed subslice.
+    #[inline]
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume one byte.
+    #[inline]
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        let s = self.take(1, what)?;
+        Ok(s[0])
+    }
+
+    /// Consume an unsigned LEB128 varint.
+    #[inline]
+    pub fn uvarint(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let (v, n) = read_uvarint(&self.buf[self.pos..], what)?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Consume a zigzag signed LEB128 varint.
+    #[inline]
+    pub fn ivarint(&mut self, what: &'static str) -> Result<i64, WireError> {
+        Ok(unzigzag(self.uvarint(what)?))
+    }
+
+    /// Consume a `u64` varint and narrow it, rejecting out-of-range.
+    #[inline]
+    fn narrow<T: TryFrom<u64>>(&mut self, what: &'static str) -> Result<T, WireError> {
+        let v = self.uvarint(what)?;
+        T::try_from(v).map_err(|_| WireError::TooLong {
+            what,
+            len: usize::MAX,
+        })
+    }
+
+    /// Consume a length-prefixed byte string as a borrowed subslice.
+    #[inline]
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.uvarint(what)? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::TooLong { what, len });
+        }
+        self.take(len, what)
+    }
+
+    /// Consume a boolean byte.
+    #[inline]
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what, tag }),
+        }
+    }
+
+    /// Consume a sequence count, capped at the sanity limit.
+    #[inline]
+    fn seq_len(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let len = self.uvarint(what)? as usize;
+        if len > MAX_SEQ {
+            return Err(WireError::TooLong { what, len });
+        }
+        Ok(len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Datagram framing
+// ---------------------------------------------------------------------------
+
+/// Builds multi-frame datagrams into a reusable scratch buffer.
+///
+/// One builder lives per sender; [`FrameBuilder::reset`] rewinds it
+/// without freeing, so steady-state encoding allocates nothing.
+#[derive(Debug, Default)]
+pub struct FrameBuilder {
+    buf: Vec<u8>,
+    frames: usize,
+}
+
+impl FrameBuilder {
+    /// An empty builder (no datagram open).
+    pub fn new() -> Self {
+        FrameBuilder {
+            buf: Vec::with_capacity(1500),
+            frames: 0,
+        }
+    }
+
+    /// Start a fresh datagram, reusing the allocation.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.buf.push(VERSION_BYTE);
+        self.frames = 0;
+    }
+
+    /// Append one message as a frame. Starts the datagram if needed.
+    pub fn push_msg(&mut self, msg: &Msg) {
+        if self.buf.is_empty() {
+            self.reset();
+        }
+        let mut w = WireCursor::new(&mut self.buf);
+        let token = w.begin_frame();
+        encode_msg(msg, &mut w);
+        w.end_frame(token);
+        self.frames += 1;
+    }
+
+    /// Frames in the current datagram.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// True when no frame has been pushed since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// The encoded datagram (version byte + frames).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Iterator over the frames of one datagram, yielding borrowed
+/// [`FrameRef`] cursors positioned at each frame body.
+pub struct FrameIter<'a> {
+    rest: &'a [u8],
+    failed: bool,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = Result<FrameRef<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.rest.is_empty() {
+            return None;
+        }
+        let (len, n) = match read_uvarint(self.rest, "frame length") {
+            Ok(v) => v,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        let len = len as usize;
+        if len > MAX_FRAME_LEN {
+            self.failed = true;
+            return Some(Err(WireError::TooLong {
+                what: "frame length",
+                len,
+            }));
+        }
+        if self.rest.len() - n < len {
+            self.failed = true;
+            return Some(Err(WireError::UnexpectedEof { what: "frame body" }));
+        }
+        let body = &self.rest[n..n + len];
+        self.rest = &self.rest[n + len..];
+        Some(Ok(FrameRef::new(body)))
+    }
+}
+
+/// Open a framed datagram: check the version byte and return the frame
+/// iterator. Rejects unknown versions — including v1 messages, whose
+/// leading tag byte is outside the version space.
+pub fn open_datagram(dgram: &[u8]) -> Result<FrameIter<'_>, WireError> {
+    let Some((&first, rest)) = dgram.split_first() else {
+        return Err(WireError::UnexpectedEof { what: "datagram" });
+    };
+    if first != VERSION_BYTE {
+        return Err(WireError::BadVersion { found: first });
+    }
+    Ok(FrameIter {
+        rest,
+        failed: false,
+    })
+}
+
+/// Decode every message of a framed datagram. The returned messages own
+/// their payloads (copied per field); everything else decodes straight
+/// off the borrowed input. A datagram with zero frames is an error —
+/// senders never emit one, so it can only be truncation.
+pub fn decode_datagram(dgram: &[u8]) -> Result<Vec<Msg>, WireError> {
+    let mut out = Vec::new();
+    for frame in open_datagram(dgram)? {
+        let mut f = frame?;
+        let msg = decode_msg(&mut f)?;
+        if !f.is_exhausted() {
+            return Err(WireError::TrailingBytes {
+                remaining: f.remaining(),
+            });
+        }
+        out.push(msg);
+    }
+    if out.is_empty() {
+        return Err(WireError::UnexpectedEof { what: "datagram" });
+    }
+    Ok(out)
+}
+
+/// Encode one message as a complete single-frame datagram (convenience
+/// for paths without a long-lived [`FrameBuilder`]).
+pub fn encode_single(msg: &Msg) -> Vec<u8> {
+    let mut b = FrameBuilder::new();
+    b.push_msg(msg);
+    b.bytes().to_vec()
+}
+
+// ---------------------------------------------------------------------------
+// v2 message codec
+// ---------------------------------------------------------------------------
+
+fn put_pid(w: &mut WireCursor, p: ProcessId) {
+    w.put_uvarint(p.0 as u64);
+}
+
+fn get_pid(f: &mut FrameRef<'_>) -> Result<ProcessId, WireError> {
+    Ok(ProcessId(f.narrow::<u16>("process-id")?))
+}
+
+fn put_proposal_id(w: &mut WireCursor, id: &ProposalId) {
+    put_pid(w, id.proposer);
+    w.put_uvarint(id.seq);
+}
+
+fn get_proposal_id(f: &mut FrameRef<'_>) -> Result<ProposalId, WireError> {
+    Ok(ProposalId {
+        proposer: get_pid(f)?,
+        seq: f.uvarint("proposal-seq")?,
+    })
+}
+
+fn put_semantics(w: &mut WireCursor, s: &Semantics) {
+    w.put_u8(match s.ordering {
+        Ordering::Unordered => 0,
+        Ordering::Total => 1,
+        Ordering::Time => 2,
+    });
+    w.put_u8(match s.atomicity {
+        Atomicity::Weak => 0,
+        Atomicity::Strong => 1,
+        Atomicity::Strict => 2,
+    });
+}
+
+fn get_semantics(f: &mut FrameRef<'_>) -> Result<Semantics, WireError> {
+    let ordering = match f.u8("ordering")? {
+        0 => Ordering::Unordered,
+        1 => Ordering::Total,
+        2 => Ordering::Time,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "ordering",
+                tag,
+            })
+        }
+    };
+    let atomicity = match f.u8("atomicity")? {
+        0 => Atomicity::Weak,
+        1 => Atomicity::Strong,
+        2 => Atomicity::Strict,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "atomicity",
+                tag,
+            })
+        }
+    };
+    Ok(Semantics {
+        ordering,
+        atomicity,
+    })
+}
+
+fn put_view_id(w: &mut WireCursor, id: &ViewId) {
+    w.put_uvarint(id.seq);
+    put_pid(w, id.creator);
+}
+
+fn get_view_id(f: &mut FrameRef<'_>) -> Result<ViewId, WireError> {
+    Ok(ViewId {
+        seq: f.uvarint("view-seq")?,
+        creator: get_pid(f)?,
+    })
+}
+
+fn put_view(w: &mut WireCursor, v: &View) {
+    put_view_id(w, &v.id);
+    let members = v.member_vec();
+    w.put_uvarint(members.len() as u64);
+    for m in members {
+        put_pid(w, m);
+    }
+}
+
+fn get_view(f: &mut FrameRef<'_>) -> Result<View, WireError> {
+    let id = get_view_id(f)?;
+    let len = f.seq_len("view members")?;
+    let mut members = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        members.push(get_pid(f)?);
+    }
+    Ok(View::new(id, members))
+}
+
+fn put_update_desc(w: &mut WireCursor, d: &UpdateDesc) {
+    put_proposal_id(w, &d.id);
+    w.put_uvarint(d.hdo.0);
+    put_semantics(w, &d.semantics);
+    w.put_ivarint(d.send_ts.0);
+}
+
+fn get_update_desc(f: &mut FrameRef<'_>) -> Result<UpdateDesc, WireError> {
+    Ok(UpdateDesc {
+        id: get_proposal_id(f)?,
+        hdo: Ordinal(f.uvarint("hdo")?),
+        semantics: get_semantics(f)?,
+        send_ts: SyncTime(f.ivarint("send-ts")?),
+    })
+}
+
+fn put_descriptor(w: &mut WireCursor, d: &Descriptor) {
+    match &d.body {
+        DescriptorBody::Update {
+            id,
+            hdo,
+            semantics,
+            send_ts,
+        } => {
+            w.put_u8(0);
+            put_proposal_id(w, id);
+            w.put_uvarint(hdo.0);
+            put_semantics(w, semantics);
+            w.put_ivarint(send_ts.0);
+        }
+        DescriptorBody::Membership(view) => {
+            w.put_u8(1);
+            put_view(w, view);
+        }
+    }
+    w.put_uvarint(d.acks.0);
+    w.put_bool(d.undeliverable);
+}
+
+fn get_descriptor(f: &mut FrameRef<'_>) -> Result<Descriptor, WireError> {
+    let body = match f.u8("descriptor-body")? {
+        0 => DescriptorBody::Update {
+            id: get_proposal_id(f)?,
+            hdo: Ordinal(f.uvarint("hdo")?),
+            semantics: get_semantics(f)?,
+            send_ts: SyncTime(f.ivarint("send-ts")?),
+        },
+        1 => DescriptorBody::Membership(get_view(f)?),
+        tag => {
+            return Err(WireError::BadTag {
+                what: "descriptor-body",
+                tag,
+            })
+        }
+    };
+    Ok(Descriptor {
+        body,
+        acks: AckBits(f.uvarint("acks")?),
+        undeliverable: f.bool("undeliverable")?,
+    })
+}
+
+fn put_oal(w: &mut WireCursor, oal: &Oal) {
+    w.put_uvarint(oal.next_ordinal().0);
+    w.put_uvarint(oal.len() as u64);
+    for (_, d) in oal.iter() {
+        put_descriptor(w, d);
+    }
+}
+
+fn get_oal(f: &mut FrameRef<'_>) -> Result<Oal, WireError> {
+    let next = Ordinal(f.uvarint("oal next")?);
+    let len = f.seq_len("oal")?;
+    if (len as u64) >= next.0.max(1) {
+        // A window longer than the assigned range is nonsense.
+        return Err(WireError::TooLong { what: "oal", len });
+    }
+    let mut entries = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        entries.push(get_descriptor(f)?);
+    }
+    let mut oal = Oal::new();
+    oal.restore(next, entries);
+    Ok(oal)
+}
+
+fn put_proposal(w: &mut WireCursor, p: &Proposal) {
+    put_pid(w, p.sender);
+    w.put_uvarint(p.incarnation.0 as u64);
+    w.put_uvarint(p.seq);
+    w.put_ivarint(p.send_ts.0);
+    w.put_uvarint(p.hdo.0);
+    put_semantics(w, &p.semantics);
+    w.put_bytes(&p.payload);
+}
+
+fn get_proposal(f: &mut FrameRef<'_>) -> Result<Proposal, WireError> {
+    Ok(Proposal {
+        sender: get_pid(f)?,
+        incarnation: Incarnation(f.narrow::<u32>("incarnation")?),
+        seq: f.uvarint("seq")?,
+        send_ts: SyncTime(f.ivarint("send-ts")?),
+        hdo: Ordinal(f.uvarint("hdo")?),
+        semantics: get_semantics(f)?,
+        // The single point where payload bytes are copied out of the
+        // borrowed frame into the owned message.
+        payload: Bytes::copy_from_slice(f.bytes("payload")?),
+    })
+}
+
+/// Encode `msg` (tag byte + v2 body) through the cursor. Framing is the
+/// caller's concern ([`FrameBuilder::push_msg`] brackets this with a
+/// length prefix).
+pub fn encode_msg(msg: &Msg, w: &mut WireCursor) {
+    match msg {
+        Msg::Proposal(p) => {
+            w.put_u8(0);
+            put_proposal(w, p);
+        }
+        Msg::Decision(d) => {
+            w.put_u8(1);
+            put_pid(w, d.sender);
+            w.put_ivarint(d.send_ts.0);
+            put_view(w, &d.view);
+            put_oal(w, &d.oal);
+            w.put_uvarint(d.alive.0);
+        }
+        Msg::NoDecision(nd) => {
+            w.put_u8(2);
+            put_pid(w, nd.sender);
+            w.put_ivarint(nd.send_ts.0);
+            put_pid(w, nd.suspect);
+            put_view_id(w, &nd.view_id);
+            put_oal(w, &nd.oal_view);
+            w.put_uvarint(nd.dpd.len() as u64);
+            for d in &nd.dpd {
+                put_update_desc(w, d);
+            }
+            w.put_uvarint(nd.alive.0);
+        }
+        Msg::Join(j) => {
+            w.put_u8(3);
+            put_pid(w, j.sender);
+            w.put_uvarint(j.incarnation.0 as u64);
+            w.put_ivarint(j.send_ts.0);
+            w.put_uvarint(j.join_list.len() as u64);
+            for (p, inc) in &j.join_list {
+                put_pid(w, *p);
+                w.put_uvarint(inc.0 as u64);
+            }
+            w.put_uvarint(j.alive.0);
+        }
+        Msg::Reconfig(r) => {
+            w.put_u8(4);
+            put_pid(w, r.sender);
+            w.put_ivarint(r.send_ts.0);
+            w.put_uvarint(r.reconfig_list.len() as u64);
+            for p in &r.reconfig_list {
+                put_pid(w, *p);
+            }
+            w.put_ivarint(r.last_decision_ts.0);
+            put_view_id(w, &r.last_view);
+            put_oal(w, &r.oal_view);
+            w.put_uvarint(r.dpd.len() as u64);
+            for d in &r.dpd {
+                put_update_desc(w, d);
+            }
+            w.put_uvarint(r.alive.0);
+        }
+        Msg::ClockSync(cs) => {
+            w.put_u8(5);
+            match cs {
+                ClockSyncMsg::Request {
+                    sender,
+                    rid,
+                    hw_send,
+                } => {
+                    w.put_u8(0);
+                    put_pid(w, *sender);
+                    w.put_uvarint(*rid);
+                    w.put_ivarint(hw_send.0);
+                }
+                ClockSyncMsg::Reply {
+                    sender,
+                    rid,
+                    hw_send_echo,
+                    sync_at_reply,
+                    synced,
+                } => {
+                    w.put_u8(1);
+                    put_pid(w, *sender);
+                    w.put_uvarint(*rid);
+                    w.put_ivarint(hw_send_echo.0);
+                    w.put_ivarint(sync_at_reply.0);
+                    w.put_bool(*synced);
+                }
+            }
+        }
+        Msg::StateTransfer(st) => {
+            w.put_u8(6);
+            put_pid(w, st.sender);
+            put_pid(w, st.to);
+            put_view_id(w, &st.view_id);
+            w.put_bytes(&st.app_state);
+            w.put_uvarint(st.proposals.len() as u64);
+            for p in &st.proposals {
+                put_proposal(w, p);
+            }
+            w.put_uvarint(st.fifo.len() as u64);
+            for (p, next) in &st.fifo {
+                put_pid(w, *p);
+                w.put_uvarint(*next);
+            }
+            w.put_uvarint(st.ordinals.len() as u64);
+            for (id, o) in &st.ordinals {
+                put_proposal_id(w, id);
+                w.put_uvarint(o.0);
+            }
+        }
+        Msg::Nack(nk) => {
+            w.put_u8(7);
+            put_pid(w, nk.sender);
+            w.put_ivarint(nk.send_ts.0);
+            w.put_uvarint(nk.missing.len() as u64);
+            for id in &nk.missing {
+                put_proposal_id(w, id);
+            }
+        }
+    }
+}
+
+/// Decode one message body (tag byte + v2 fields) from a frame cursor.
+/// The caller checks [`FrameRef::is_exhausted`] afterwards if trailing
+/// bytes must be rejected.
+pub fn decode_msg(f: &mut FrameRef<'_>) -> Result<Msg, WireError> {
+    match f.u8("msg")? {
+        0 => Ok(Msg::Proposal(get_proposal(f)?)),
+        1 => Ok(Msg::Decision(Decision {
+            sender: get_pid(f)?,
+            send_ts: SyncTime(f.ivarint("send-ts")?),
+            view: get_view(f)?,
+            oal: get_oal(f)?,
+            alive: AckBits(f.uvarint("alive")?),
+        })),
+        2 => {
+            let sender = get_pid(f)?;
+            let send_ts = SyncTime(f.ivarint("send-ts")?);
+            let suspect = get_pid(f)?;
+            let view_id = get_view_id(f)?;
+            let oal_view = get_oal(f)?;
+            let len = f.seq_len("dpd")?;
+            let mut dpd = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                dpd.push(get_update_desc(f)?);
+            }
+            Ok(Msg::NoDecision(NoDecision {
+                sender,
+                send_ts,
+                suspect,
+                view_id,
+                oal_view,
+                dpd,
+                alive: AckBits(f.uvarint("alive")?),
+            }))
+        }
+        3 => {
+            let sender = get_pid(f)?;
+            let incarnation = Incarnation(f.narrow::<u32>("incarnation")?);
+            let send_ts = SyncTime(f.ivarint("send-ts")?);
+            let len = f.seq_len("join-list")?;
+            let mut join_list = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                let p = get_pid(f)?;
+                let inc = Incarnation(f.narrow::<u32>("incarnation")?);
+                join_list.push((p, inc));
+            }
+            Ok(Msg::Join(Join {
+                sender,
+                incarnation,
+                send_ts,
+                join_list,
+                alive: AckBits(f.uvarint("alive")?),
+            }))
+        }
+        4 => {
+            let sender = get_pid(f)?;
+            let send_ts = SyncTime(f.ivarint("send-ts")?);
+            let len = f.seq_len("reconfig-list")?;
+            let mut reconfig_list = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                reconfig_list.push(get_pid(f)?);
+            }
+            let last_decision_ts = SyncTime(f.ivarint("last-decision-ts")?);
+            let last_view = get_view_id(f)?;
+            let oal_view = get_oal(f)?;
+            let dlen = f.seq_len("dpd")?;
+            let mut dpd = Vec::with_capacity(dlen.min(1024));
+            for _ in 0..dlen {
+                dpd.push(get_update_desc(f)?);
+            }
+            Ok(Msg::Reconfig(Reconfig {
+                sender,
+                send_ts,
+                reconfig_list,
+                last_decision_ts,
+                last_view,
+                oal_view,
+                dpd,
+                alive: AckBits(f.uvarint("alive")?),
+            }))
+        }
+        5 => match f.u8("clock-sync")? {
+            0 => Ok(Msg::ClockSync(ClockSyncMsg::Request {
+                sender: get_pid(f)?,
+                rid: f.uvarint("rid")?,
+                hw_send: HwTime(f.ivarint("hw-send")?),
+            })),
+            1 => Ok(Msg::ClockSync(ClockSyncMsg::Reply {
+                sender: get_pid(f)?,
+                rid: f.uvarint("rid")?,
+                hw_send_echo: HwTime(f.ivarint("hw-send-echo")?),
+                sync_at_reply: SyncTime(f.ivarint("sync-at-reply")?),
+                synced: f.bool("synced")?,
+            })),
+            tag => Err(WireError::BadTag {
+                what: "clock-sync",
+                tag,
+            }),
+        },
+        6 => {
+            let sender = get_pid(f)?;
+            let to = get_pid(f)?;
+            let view_id = get_view_id(f)?;
+            let app_state = Bytes::copy_from_slice(f.bytes("app-state")?);
+            let plen = f.seq_len("proposals")?;
+            let mut proposals = Vec::with_capacity(plen.min(1024));
+            for _ in 0..plen {
+                proposals.push(get_proposal(f)?);
+            }
+            let flen = f.seq_len("fifo")?;
+            let mut fifo = Vec::with_capacity(flen.min(1024));
+            for _ in 0..flen {
+                let p = get_pid(f)?;
+                let next = f.uvarint("fifo-next")?;
+                fifo.push((p, next));
+            }
+            let olen = f.seq_len("ordinals")?;
+            let mut ordinals = Vec::with_capacity(olen.min(1024));
+            for _ in 0..olen {
+                let id = get_proposal_id(f)?;
+                let o = Ordinal(f.uvarint("ordinal")?);
+                ordinals.push((id, o));
+            }
+            Ok(Msg::StateTransfer(StateTransfer {
+                sender,
+                to,
+                view_id,
+                app_state,
+                proposals,
+                fifo,
+                ordinals,
+            }))
+        }
+        7 => {
+            let sender = get_pid(f)?;
+            let send_ts = SyncTime(f.ivarint("send-ts")?);
+            let len = f.seq_len("missing")?;
+            let mut missing = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                missing.push(get_proposal_id(f)?);
+            }
+            Ok(Msg::Nack(Nack {
+                sender,
+                send_ts,
+                missing,
+            }))
+        }
+        tag => Err(WireError::BadTag { what: "msg", tag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v2_roundtrip(msg: &Msg) -> Msg {
+        let dgram = encode_single(msg);
+        let mut msgs = decode_datagram(&dgram).expect("decode");
+        assert_eq!(msgs.len(), 1);
+        msgs.pop().unwrap()
+    }
+
+    fn sample_view() -> View {
+        View::new(
+            ViewId::new(3, ProcessId(1)),
+            [ProcessId(0), ProcessId(1), ProcessId(4)],
+        )
+    }
+
+    fn sample_proposal(seq: u64) -> Proposal {
+        Proposal {
+            sender: ProcessId(2),
+            incarnation: Incarnation(1),
+            seq,
+            send_ts: SyncTime(40 + seq as i64),
+            hdo: Ordinal(3),
+            semantics: Semantics::TOTAL_STRONG,
+            payload: Bytes::from(vec![seq as u8; 5]),
+        }
+    }
+
+    #[test]
+    fn uvarint_boundaries() {
+        for (v, len) in [
+            (0u64, 1usize),
+            (127, 1),
+            (128, 2),
+            (300, 2),
+            (16_384, 3),
+            (u32::MAX as u64, 5),
+            (u64::MAX, 10),
+        ] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), len, "length of {v}");
+            let (back, n) = read_uvarint(&buf, "t").unwrap();
+            assert_eq!((back, n), (v, len));
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_uvarint(&buf[..cut], "t").is_err(), "cut {cut}");
+        }
+        // Eleven continuation bytes: too long for u64.
+        let long = [0x80u8; 11];
+        assert!(matches!(
+            read_uvarint(&long, "t"),
+            Err(WireError::TooLong { .. })
+        ));
+        // Ten bytes whose last contributes more than one bit: overflow.
+        let mut over = [0x80u8; 10];
+        over[9] = 0x02;
+        assert!(matches!(
+            read_uvarint(&over, "t"),
+            Err(WireError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn padded_length_prefix_is_valid_leb128() {
+        let mut buf = Vec::new();
+        let mut w = WireCursor::new(&mut buf);
+        let t = w.begin_frame();
+        w.put_u8(0xAB);
+        w.end_frame(t);
+        let (len, n) = read_uvarint(&buf, "t").unwrap();
+        assert_eq!((len, n), (1, 4), "padded 4-byte prefix decodes");
+        assert_eq!(buf[4], 0xAB);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -1_000_000, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small on the wire.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, zigzag(-3));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn every_msg_kind_roundtrips_v2() {
+        let oal = Oal::new();
+        let view = sample_view();
+        let alive: AckBits = [ProcessId(0), ProcessId(1)].into_iter().collect();
+        let msgs = vec![
+            Msg::Proposal(sample_proposal(7)),
+            Msg::Decision(Decision {
+                sender: ProcessId(0),
+                send_ts: SyncTime(20),
+                view: view.clone(),
+                oal: oal.clone(),
+                alive,
+            }),
+            Msg::NoDecision(NoDecision {
+                sender: ProcessId(1),
+                send_ts: SyncTime(30),
+                suspect: ProcessId(0),
+                view_id: view.id,
+                oal_view: oal.clone(),
+                dpd: vec![sample_proposal(1).desc()],
+                alive,
+            }),
+            Msg::Join(Join {
+                sender: ProcessId(2),
+                incarnation: Incarnation(1),
+                send_ts: SyncTime(40),
+                join_list: vec![(ProcessId(2), Incarnation(1))],
+                alive,
+            }),
+            Msg::Reconfig(Reconfig {
+                sender: ProcessId(2),
+                send_ts: SyncTime(50),
+                reconfig_list: vec![ProcessId(1), ProcessId(2)],
+                last_decision_ts: SyncTime(20),
+                last_view: view.id,
+                oal_view: oal.clone(),
+                dpd: vec![],
+                alive,
+            }),
+            Msg::ClockSync(ClockSyncMsg::Request {
+                sender: ProcessId(0),
+                rid: 3,
+                hw_send: HwTime(-11),
+            }),
+            Msg::ClockSync(ClockSyncMsg::Reply {
+                sender: ProcessId(0),
+                rid: 3,
+                hw_send_echo: HwTime(11),
+                sync_at_reply: SyncTime(13),
+                synced: true,
+            }),
+            Msg::StateTransfer(StateTransfer {
+                sender: ProcessId(0),
+                to: ProcessId(2),
+                view_id: view.id,
+                app_state: Bytes::from_static(b"state"),
+                proposals: vec![sample_proposal(2)],
+                fifo: vec![(ProcessId(0), 3)],
+                ordinals: vec![(ProposalId::new(ProcessId(1), 4), Ordinal(9))],
+            }),
+            Msg::Nack(Nack {
+                sender: ProcessId(1),
+                send_ts: SyncTime(60),
+                missing: vec![ProposalId::new(ProcessId(0), 2)],
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(v2_roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn oal_roundtrip_preserves_base_v2() {
+        let g = View::new(ViewId::new(1, ProcessId(0)), [ProcessId(0), ProcessId(1)]);
+        let mut oal = Oal::new();
+        for i in 0..5u64 {
+            let o = oal.append(Descriptor::update(
+                ProposalId::new(ProcessId(0), i + 1),
+                Ordinal::ZERO,
+                Semantics::TOTAL_STRONG,
+                SyncTime(i as i64),
+                ProcessId(0),
+            ));
+            if i < 2 {
+                oal.ack(o, ProcessId(1));
+            }
+        }
+        oal.prune_stable(&g);
+        let mut buf = Vec::new();
+        let mut w = WireCursor::new(&mut buf);
+        put_oal(&mut w, &oal);
+        let mut f = FrameRef::new(&buf);
+        let back = get_oal(&mut f).unwrap();
+        assert!(f.is_exhausted());
+        assert_eq!(back.base(), oal.base());
+        assert_eq!(back.next_ordinal(), oal.next_ordinal());
+    }
+
+    #[test]
+    fn multi_frame_datagram_roundtrips_in_order() {
+        let mut b = FrameBuilder::new();
+        for seq in 1..=5 {
+            b.push_msg(&Msg::Proposal(sample_proposal(seq)));
+        }
+        assert_eq!(b.frames(), 5);
+        let msgs = decode_datagram(b.bytes()).unwrap();
+        assert_eq!(msgs.len(), 5);
+        for (i, m) in msgs.iter().enumerate() {
+            let Msg::Proposal(p) = m else {
+                panic!("wrong kind")
+            };
+            assert_eq!(p.seq, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn builder_reset_reuses_allocation() {
+        let mut b = FrameBuilder::new();
+        b.push_msg(&Msg::Proposal(sample_proposal(1)));
+        let cap = {
+            b.reset();
+            assert!(b.is_empty());
+            b.buf.capacity()
+        };
+        b.push_msg(&Msg::Proposal(sample_proposal(2)));
+        assert!(b.buf.capacity() >= cap.min(b.buf.len()));
+        assert_eq!(decode_datagram(b.bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        // v1 encodings start with a tag byte 0..=7 — all rejected.
+        for first in [0u8, 1, 7, 0xD0 | 1, 0xD0 | 3, 0xFF] {
+            let dgram = [first, 0x00];
+            assert!(
+                matches!(
+                    open_datagram(&dgram),
+                    Err(WireError::BadVersion { found }) if found == first
+                ),
+                "byte {first:#x}"
+            );
+        }
+        assert!(matches!(
+            open_datagram(&[]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_datagram_is_an_error() {
+        assert!(decode_datagram(&[VERSION_BYTE]).is_err());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error_not_a_panic() {
+        let mut b = FrameBuilder::new();
+        b.push_msg(&Msg::Proposal(sample_proposal(1)));
+        let bytes = b.bytes();
+        // Cut inside the padded length prefix (bytes 1..=4).
+        for cut in 2..5.min(bytes.len()) {
+            assert!(decode_datagram(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Cut anywhere: error, never panic, never an extra message.
+        for cut in 0..bytes.len() {
+            let _ = decode_datagram(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn frame_length_overrun_is_an_error() {
+        // A frame claiming more body than the datagram holds.
+        let mut dgram = vec![VERSION_BYTE];
+        put_uvarint(&mut dgram, 100);
+        dgram.push(0x00); // only 1 body byte present
+        assert!(matches!(
+            decode_datagram(&dgram),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // A frame claiming an absurd length fails the sanity cap.
+        let mut dgram = vec![VERSION_BYTE];
+        put_uvarint(&mut dgram, (MAX_FRAME_LEN as u64) + 1);
+        assert!(matches!(
+            decode_datagram(&dgram),
+            Err(WireError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_in_frame_rejected() {
+        let mut buf = vec![VERSION_BYTE];
+        let mut w = WireCursor::new(&mut buf);
+        let t = w.begin_frame();
+        encode_msg(
+            &Msg::ClockSync(ClockSyncMsg::Request {
+                sender: ProcessId(0),
+                rid: 1,
+                hw_send: HwTime(2),
+            }),
+            &mut w,
+        );
+        w.put_u8(0xEE); // junk inside the frame, after the message
+        w.end_frame(t);
+        assert!(matches!(
+            decode_datagram(&buf),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn v2_is_denser_than_v1_for_control_traffic() {
+        use crate::codec::Encode;
+        let mut oal = Oal::new();
+        for i in 0..8u64 {
+            oal.append(Descriptor::update(
+                ProposalId::new(ProcessId(0), i + 1),
+                Ordinal(i),
+                Semantics::TOTAL_STRONG,
+                SyncTime(1_000 + i as i64),
+                ProcessId(0),
+            ));
+        }
+        let d = Msg::Decision(Decision {
+            sender: ProcessId(0),
+            send_ts: SyncTime(2_000),
+            view: sample_view(),
+            oal,
+            alive: AckBits(0b111),
+        });
+        let v1 = d.to_bytes().len();
+        let v2 = encode_single(&d).len();
+        assert!(
+            v2 < v1,
+            "v2 ({v2} bytes) should be denser than v1 ({v1} bytes)"
+        );
+    }
+
+    #[test]
+    fn frame_ref_take_borrows_from_input() {
+        let data = [5u8, 1, 2, 3, 4, 5];
+        let mut f = FrameRef::new(&data);
+        let payload = f.bytes("p").unwrap();
+        // Same allocation: the subslice points into `data`.
+        assert_eq!(payload.as_ptr(), data[1..].as_ptr());
+        assert!(f.is_exhausted());
+    }
+}

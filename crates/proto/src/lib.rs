@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod frame;
 pub mod ids;
 pub mod messages;
 pub mod oal;
@@ -26,6 +27,7 @@ pub mod view;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::codec::{Decode, Encode, WireError};
+    pub use crate::frame::{FrameBuilder, FrameRef, WireCursor, WIRE_VERSION};
     pub use crate::ids::{Incarnation, Ordinal, ProcessId, ProposalId};
     pub use crate::messages::{
         ClockSyncMsg, Decision, Join, Msg, NoDecision, Proposal, Reconfig, StateTransfer,

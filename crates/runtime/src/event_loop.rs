@@ -6,15 +6,27 @@
 //! inter-thread scheduling — the design the paper adopted after finding
 //! the thread-based version's overhead "significant".
 //!
+//! Hot-path batching happens here: a coalesced datagram's messages are
+//! applied in one `on_messages` dispatch, a burst of queued propose
+//! commands drains into one `propose_batch` call, and every dispatch's
+//! outbound traffic leaves through one [`OutBatch`] flush (one datagram
+//! per destination, one vectored syscall on Linux).
+//!
 //! Every dispatch (handler entry through actions applied) is timed into
 //! the node's `dispatch_latency_us` histogram, making the §5 latency
 //! argument measurable: compare this distribution against the
 //! thread-based executor's lock-and-switch overhead.
 
 use crate::node::{apply_actions, NodeCommand, NodeOutput, NodeParts};
-use crate::transport::Incoming;
+use crate::transport::{Incoming, OutBatch};
+use bytes::Bytes;
 use std::time::Duration as StdDuration;
 use std::time::Instant;
+use tw_proto::Semantics;
+
+/// Most propose commands drained into one batch (bounds the latency a
+/// later proposer can add to an earlier one's broadcast).
+const MAX_PROPOSE_DRAIN: usize = 256;
 
 pub(crate) fn run(parts: NodeParts) {
     let NodeParts {
@@ -37,11 +49,16 @@ pub(crate) fn run(parts: NodeParts) {
     let pid = member.pid();
     let tick = member.config().tick;
     let resync = member.config().clock.resync_interval;
+    // The executor's long-lived outbound batch: reused across
+    // dispatches so encoder scratch amortizes to zero allocations.
+    let mut batch = OutBatch::new();
 
     let now = clock.now_hw();
     let mut next_clock = now + resync;
     let actions = member.on_start(now);
-    let (t, snap) = apply_actions(pid, actions, &*transport, &out, now, &mut hook, &metrics);
+    let (t, snap) = apply_actions(
+        pid, actions, &*transport, &out, now, &mut hook, &metrics, &mut batch,
+    );
     if let Some(t) = t {
         next_clock = t;
     }
@@ -49,8 +66,9 @@ pub(crate) fn run(parts: NodeParts) {
         member.set_app_snapshot(s);
     }
     let mut next_tick = now + tick;
+    let mut shutdown = false;
 
-    loop {
+    while !shutdown {
         // Chaos pause: freeze before the next dispatch, faking a
         // process that stopped making progress (performance failure).
         gate.block_while_paused();
@@ -61,12 +79,17 @@ pub(crate) fn run(parts: NodeParts) {
 
         crossbeam::channel::select! {
             recv(inbox) -> m => match m {
-                Ok(Incoming::Msg(from, msg)) => {
+                Ok(inc) => {
                     let started = Instant::now();
                     let now = clock.now_hw();
-                    let actions = member.on_message(now, from, msg);
-                    let (t, snap) =
-                        apply_actions(pid, actions, &*transport, &out, now, &mut hook, &metrics);
+                    let actions = match inc {
+                        Incoming::Msg(from, msg) => member.on_message(now, from, msg),
+                        // One coalesced datagram → one dispatch.
+                        Incoming::Batch(from, msgs) => member.on_messages(now, from, msgs),
+                    };
+                    let (t, snap) = apply_actions(
+                        pid, actions, &*transport, &out, now, &mut hook, &metrics, &mut batch,
+                    );
                     metrics.on_dispatch(started);
                     if let Some(t) = t {
                         next_clock = t;
@@ -81,10 +104,28 @@ pub(crate) fn run(parts: NodeParts) {
                 Ok(NodeCommand::Propose(payload, sem)) => {
                     let started = Instant::now();
                     let now = clock.now_hw();
-                    match member.propose(now, payload, sem) {
+                    // Drain whatever else the client already queued into
+                    // the same batch: under load, many updates share one
+                    // dispatch and one multi-frame datagram; an idle
+                    // queue degenerates to the classic single propose
+                    // with no added latency.
+                    let mut updates: Vec<(Bytes, Semantics)> = vec![(payload, sem)];
+                    while updates.len() < MAX_PROPOSE_DRAIN {
+                        match cmds.try_recv() {
+                            Ok(NodeCommand::Propose(p, s)) => updates.push((p, s)),
+                            Ok(NodeCommand::Shutdown) => {
+                                shutdown = true;
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    match member.propose_batch(now, updates) {
                         Ok(actions) => {
-                            let (t, snap) =
-                                apply_actions(pid, actions, &*transport, &out, now, &mut hook, &metrics);
+                            let (t, snap) = apply_actions(
+                                pid, actions, &*transport, &out, now, &mut hook, &metrics,
+                                &mut batch,
+                            );
                             metrics.on_dispatch(started);
                             if let Some(t) = t {
                                 next_clock = t;
@@ -107,8 +148,9 @@ pub(crate) fn run(parts: NodeParts) {
         if now >= next_tick {
             let started = Instant::now();
             let actions = member.on_tick(now);
-            let (t, snap) =
-                apply_actions(pid, actions, &*transport, &out, now, &mut hook, &metrics);
+            let (t, snap) = apply_actions(
+                pid, actions, &*transport, &out, now, &mut hook, &metrics, &mut batch,
+            );
             metrics.on_dispatch(started);
             if let Some(t) = t {
                 next_clock = t;
@@ -121,7 +163,9 @@ pub(crate) fn run(parts: NodeParts) {
         if now >= next_clock {
             let started = Instant::now();
             let actions = member.on_clock_tick(now);
-            let (t, _) = apply_actions(pid, actions, &*transport, &out, now, &mut hook, &metrics);
+            let (t, _) = apply_actions(
+                pid, actions, &*transport, &out, now, &mut hook, &metrics, &mut batch,
+            );
             metrics.on_dispatch(started);
             match t {
                 Some(t) => next_clock = t,

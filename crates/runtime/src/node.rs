@@ -9,7 +9,7 @@
 use crate::chaos::{NodeStatus, PauseGate, StatusCell};
 use crate::clock::{RealClock, RuntimeClock};
 use crate::metrics::NodeMetrics;
-use crate::transport::{node_inbox, Incoming, MemTransport, Transport, UdpTransport};
+use crate::transport::{node_inbox, Incoming, MemTransport, OutBatch, Transport, UdpTransport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
@@ -127,6 +127,13 @@ impl Node {
     /// published by the executor after every dispatch.
     pub fn status(&self) -> NodeStatus {
         self.status.read()
+    }
+
+    /// Wire-level counters of this node's UDP transport — syscalls,
+    /// datagrams and messages sent/received (`None` on channel-mesh
+    /// clusters). The quantity behind the syscalls-per-decision claim.
+    pub fn wire_stats(&self) -> Option<crate::transport::WireStats> {
+        self.udp.as_ref().map(|u| u.wire_stats())
     }
 
     /// Stop the node and join its threads.
@@ -478,6 +485,12 @@ pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec
 /// clock-tick deadline, if the actions rescheduled it, plus the fresh
 /// application snapshot if the delivery hook produced one (the caller
 /// pushes it into the member).
+///
+/// Outbound messages are collected into `batch` (the executor's
+/// long-lived [`OutBatch`], so encoder scratch is reused across
+/// dispatches) and put on the wire in one [`Transport::flush`] at the
+/// end — on UDP that is one coalesced datagram per destination and one
+/// vectored syscall for the whole dispatch.
 pub(crate) fn apply_actions(
     pid: ProcessId,
     actions: Vec<timewheel::Action>,
@@ -486,6 +499,7 @@ pub(crate) fn apply_actions(
     now: tw_proto::HwTime,
     hook: &mut Option<DeliveryHook>,
     metrics: &NodeMetrics,
+    batch: &mut OutBatch,
 ) -> (Option<tw_proto::HwTime>, Option<Bytes>) {
     let mut next_clock = None;
     let mut snapshot = None;
@@ -493,11 +507,11 @@ pub(crate) fn apply_actions(
         match a {
             timewheel::Action::Broadcast(m) => {
                 metrics.on_send(m.kind());
-                transport.broadcast(pid, &m);
+                batch.push_broadcast(m);
             }
             timewheel::Action::Send(to, m) => {
                 metrics.on_send(m.kind());
-                transport.send(to, &m);
+                batch.push_send(to, m);
             }
             timewheel::Action::Deliver(d) => {
                 metrics.on_delivery();
@@ -527,5 +541,6 @@ pub(crate) fn apply_actions(
             }
         }
     }
+    transport.flush(pid, batch);
     (next_clock, snapshot)
 }

@@ -8,7 +8,7 @@
 //! T7 quantifies the difference against [`crate::event_loop`].
 
 use crate::node::{apply_actions, NodeCommand, NodeOutput, NodeParts};
-use crate::transport::Incoming;
+use crate::transport::{Incoming, OutBatch};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -40,13 +40,26 @@ pub(crate) fn run(parts: NodeParts) {
     let stop = Arc::new(AtomicBool::new(false));
     let next_clock = Arc::new(AtomicI64::new(0));
 
+    // One outbound batch per thread that applies actions (batches are
+    // not shared — each thread's dispatches flush independently). This
+    // one serves the start-up dispatch and the command loop below.
+    let mut cmd_batch = OutBatch::new();
+
     // Start the member before the event threads exist.
     {
         let now = clock.now_hw();
         next_clock.store((now + resync).0, Ordering::Relaxed);
         let actions = member.on_start(now);
-        let (t, snap) =
-            apply_actions(pid, actions, &*transport, &out, now, &mut hook.lock(), &metrics);
+        let (t, snap) = apply_actions(
+            pid,
+            actions,
+            &*transport,
+            &out,
+            now,
+            &mut hook.lock(),
+            &metrics,
+            &mut cmd_batch,
+        );
         if let Some(t) = t {
             next_clock.store(t.0, Ordering::Relaxed);
         }
@@ -78,6 +91,7 @@ pub(crate) fn run(parts: NodeParts) {
             let metrics = metrics.clone();
             let gate = gate.clone();
             handles.push(std::thread::spawn(move || {
+                let mut batch = OutBatch::new();
                 while !stop.load(Ordering::Relaxed) {
                     gate.block_while_paused();
                     match rx.recv_timeout(StdDuration::from_millis(20)) {
@@ -93,6 +107,7 @@ pub(crate) fn run(parts: NodeParts) {
                                 now,
                                 &mut hook.lock(),
                                 &metrics,
+                                &mut batch,
                             );
                             metrics.on_dispatch(started);
                             if let Some(t) = t {
@@ -119,6 +134,17 @@ pub(crate) fn run(parts: NodeParts) {
                             let _ = tx.send((from, msg));
                         }
                     }
+                    // A coalesced datagram: fan the messages out to the
+                    // per-kind handlers one by one — faithful to the
+                    // baseline's thread-per-event-type design (this
+                    // executor exists to measure that design's cost).
+                    Ok(Incoming::Batch(from, msgs)) => {
+                        for msg in msgs {
+                            if let Some(tx) = kind_txs.get(&msg.kind()) {
+                                let _ = tx.send((from, msg));
+                            }
+                        }
+                    }
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                     Err(_) => return,
                 }
@@ -140,6 +166,7 @@ pub(crate) fn run(parts: NodeParts) {
         let status = status.clone();
         handles.push(std::thread::spawn(move || {
             let period = StdDuration::from_micros(tick.as_micros() as u64);
+            let mut batch = OutBatch::new();
             while !stop.load(Ordering::Relaxed) {
                 gate.block_while_paused();
                 std::thread::sleep(period);
@@ -153,6 +180,7 @@ pub(crate) fn run(parts: NodeParts) {
                     now,
                     &mut hook.lock(),
                     &metrics,
+                    &mut batch,
                 );
                 if let Some(t) = t {
                     next_clock.store(t.0, Ordering::Relaxed);
@@ -185,6 +213,7 @@ pub(crate) fn run(parts: NodeParts) {
         let metrics = metrics.clone();
         let gate = gate.clone();
         handles.push(std::thread::spawn(move || {
+            let mut batch = OutBatch::new();
             while !stop.load(Ordering::Relaxed) {
                 gate.block_while_paused();
                 let now = clock.now_hw();
@@ -199,6 +228,7 @@ pub(crate) fn run(parts: NodeParts) {
                         now,
                         &mut hook.lock(),
                         &metrics,
+                        &mut batch,
                     );
                     match t {
                         Some(t) => next_clock.store(t.0, Ordering::Relaxed),
@@ -229,6 +259,7 @@ pub(crate) fn run(parts: NodeParts) {
                             now,
                             &mut hook.lock(),
                             &metrics,
+                            &mut cmd_batch,
                         );
                         if let Some(t) = t {
                             next_clock.store(t.0, Ordering::Relaxed);

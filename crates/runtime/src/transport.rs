@@ -7,20 +7,34 @@
 //!   Reliable and fast; the timed-asynchronous failure modes are absent,
 //!   which is fine: the protocol only *tolerates* them.
 //! * [`UdpTransport`] — real UDP sockets on localhost (or any address
-//!   map), using the binary wire codec. Genuinely lossy under load,
-//!   exactly the substrate the paper deployed on.
+//!   map), using the framed zero-copy wire format ([`tw_proto::frame`],
+//!   wire v2). Genuinely lossy under load, exactly the substrate the
+//!   paper deployed on.
+//!
+//! Hot-path batching: executors collect a dispatch's outbound messages
+//! into an [`OutBatch`] and hand the whole thing to [`Transport::flush`]
+//! at once. [`UdpTransport`] coalesces the batch into one multi-frame
+//! datagram per destination (a broadcast-only batch is encoded once and
+//! fanned out) and submits the fan-out through a single vectored
+//! syscall where the platform has one ([`crate::mmsg`]). The default
+//! `flush` decomposes into per-message `send`/`broadcast`, so
+//! fault-injecting transports keep their per-message fault fates and
+//! deterministic chaos verdicts.
 //!
 //! Node inboxes are **bounded**: when a node cannot keep up, excess
 //! datagrams are shed (the datagram model permits omission) and counted
 //! in `tw_inbox_dropped_total`, so overload degrades gracefully and
 //! observably instead of growing an unbounded queue.
 
+use crate::mmsg::{BatchSocket, RecvSlot};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tw_obs::Counter;
-use tw_proto::{Decode, Encode, Msg, ProcessId};
+use tw_proto::frame::{self, FrameBuilder};
+use tw_proto::{Msg, ProcessId};
 
 /// A way for one node to put datagrams on the wire.
 pub trait Transport: Send + Sync + 'static {
@@ -29,13 +43,83 @@ pub trait Transport: Send + Sync + 'static {
 
     /// Broadcast to every other team member (best effort).
     fn broadcast(&self, from: ProcessId, msg: &Msg);
+
+    /// Put a whole dispatch's outbound messages on the wire at once.
+    ///
+    /// The default decomposes into per-message [`Transport::send`] /
+    /// [`Transport::broadcast`] calls in action order — semantically the
+    /// pre-batching behavior, which fault-injecting transports rely on
+    /// for per-message fault fates. Transports with a cheaper coalesced
+    /// path (channel mesh, UDP) override it. Always leaves `batch`
+    /// empty and ready for reuse.
+    fn flush(&self, from: ProcessId, batch: &mut OutBatch) {
+        for item in batch.items.drain(..) {
+            match item {
+                OutItem::Broadcast(m) => self.broadcast(from, &m),
+                OutItem::Send(to, m) => self.send(to, &m),
+            }
+        }
+    }
+}
+
+/// One outbound message of a dispatch batch.
+#[derive(Debug, Clone)]
+pub enum OutItem {
+    /// To every other member.
+    Broadcast(Msg),
+    /// To one member.
+    Send(ProcessId, Msg),
+}
+
+/// A dispatch's outbound messages, collected by the executor and handed
+/// to [`Transport::flush`] in one call.
+///
+/// Owned by the executor loop and reused across dispatches, so the item
+/// vector and the per-destination encoder scratch inside amortize to
+/// zero allocations in steady state.
+#[derive(Default)]
+pub struct OutBatch {
+    pub(crate) items: Vec<OutItem>,
+    /// Reusable framed-datagram builders (one per destination touched
+    /// by the coalescing transports; index is destination rank).
+    pub(crate) builders: Vec<FrameBuilder>,
+}
+
+impl OutBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        OutBatch::default()
+    }
+
+    /// Queue a broadcast.
+    pub fn push_broadcast(&mut self, msg: Msg) {
+        self.items.push(OutItem::Broadcast(msg));
+    }
+
+    /// Queue a point-to-point send.
+    pub fn push_send(&mut self, to: ProcessId, msg: Msg) {
+        self.items.push(OutItem::Send(to, msg));
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Queued messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
 }
 
 /// What lands in a node's inbox.
 #[derive(Debug, Clone)]
 pub enum Incoming {
-    /// A datagram from another node.
+    /// A single-message datagram from another node.
     Msg(ProcessId, Msg),
+    /// A coalesced multi-message datagram from another node; the
+    /// messages are applied in order by one dispatch.
+    Batch(ProcessId, Vec<Msg>),
 }
 
 /// What became of a datagram handed to an inbox.
@@ -131,6 +215,38 @@ impl Transport for MemTransport {
             }
         }
     }
+
+    /// Coalesced path: each destination gets its share of the batch as
+    /// one [`Incoming::Batch`] (one channel operation, one dispatch),
+    /// preserving the per-destination action order.
+    fn flush(&self, from: ProcessId, batch: &mut OutBatch) {
+        if batch.items.is_empty() {
+            return;
+        }
+        for (rank, tx) in self.inboxes.iter().enumerate() {
+            if rank == from.rank() {
+                continue;
+            }
+            let mut msgs: Vec<Msg> = Vec::new();
+            for item in &batch.items {
+                match item {
+                    OutItem::Broadcast(m) => msgs.push(m.clone()),
+                    OutItem::Send(to, m) if to.rank() == rank => msgs.push(m.clone()),
+                    OutItem::Send(..) => {}
+                }
+            }
+            match msgs.len() {
+                0 => {}
+                1 => {
+                    let _ = tx.deliver(Incoming::Msg(from, msgs.pop().expect("len 1")));
+                }
+                _ => {
+                    let _ = tx.deliver(Incoming::Batch(from, msgs));
+                }
+            }
+        }
+        batch.items.clear();
+    }
 }
 
 /// What the UDP receive loop should do about a socket error.
@@ -154,12 +270,48 @@ pub(crate) fn classify_recv_error(kind: std::io::ErrorKind) -> RecvErrorAction {
     }
 }
 
-/// Real UDP datagrams with the binary wire codec.
+/// Wire-level counters of one [`UdpTransport`] (plain atomics — these
+/// sit on the hot path; the registry-backed metrics stay at the node
+/// level). `send_syscalls` vs. `msgs_sent` is the quantity the batching
+/// work optimizes: syscalls per protocol message.
+#[derive(Debug, Default)]
+struct WireCounters {
+    send_syscalls: AtomicU64,
+    datagrams_sent: AtomicU64,
+    msgs_sent: AtomicU64,
+    datagrams_recv: AtomicU64,
+    msgs_recv: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+/// A point-in-time copy of a transport's wire counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Send-side syscalls issued (`sendto`/`sendmmsg` calls).
+    pub send_syscalls: u64,
+    /// Datagrams put on the wire.
+    pub datagrams_sent: u64,
+    /// Protocol messages put on the wire (≥ datagrams when coalescing).
+    pub msgs_sent: u64,
+    /// Datagrams received and decoded.
+    pub datagrams_recv: u64,
+    /// Protocol messages received.
+    pub msgs_recv: u64,
+    /// Datagrams dropped as undecodable (bad version, truncation,
+    /// corruption — the model's omission failure).
+    pub decode_errors: u64,
+}
+
+/// Real UDP datagrams with the framed zero-copy wire format (v2).
 pub struct UdpTransport {
     socket: UdpSocket,
     peers: HashMap<ProcessId, SocketAddr>,
+    /// Peer addresses ordered by rank, self excluded lazily per call
+    /// (stable iteration order for the vectored fan-out).
+    peer_list: Vec<(ProcessId, SocketAddr)>,
     me: ProcessId,
-    stop: std::sync::atomic::AtomicBool,
+    stop: AtomicBool,
+    wire: WireCounters,
 }
 
 impl UdpTransport {
@@ -170,24 +322,54 @@ impl UdpTransport {
         peers: HashMap<ProcessId, SocketAddr>,
     ) -> std::io::Result<Arc<Self>> {
         let socket = UdpSocket::bind(addr)?;
+        let mut peer_list: Vec<(ProcessId, SocketAddr)> =
+            peers.iter().map(|(p, a)| (*p, *a)).collect();
+        peer_list.sort_by_key(|(p, _)| *p);
         Ok(Arc::new(UdpTransport {
             socket,
             peers,
+            peer_list,
             me,
-            stop: std::sync::atomic::AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            wire: WireCounters::default(),
         }))
     }
 
     /// Ask the receive loop to exit at its next poll.
     pub fn shutdown(&self) {
-        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
     }
 
-    /// Spawn the receive loop: decodes datagrams and forwards them into
-    /// `inbox` until shutdown is requested or the inbox closes. Socket
-    /// errors are treated as omissions — counted into `recv_errors`
-    /// (wire it to `tw_udp_recv_errors_total`) and retried with a
-    /// bounded backoff — never as a reason to abandon the socket.
+    /// Current wire counters.
+    pub fn wire_stats(&self) -> WireStats {
+        WireStats {
+            send_syscalls: self.wire.send_syscalls.load(Ordering::Relaxed),
+            datagrams_sent: self.wire.datagrams_sent.load(Ordering::Relaxed),
+            msgs_sent: self.wire.msgs_sent.load(Ordering::Relaxed),
+            datagrams_recv: self.wire.datagrams_recv.load(Ordering::Relaxed),
+            msgs_recv: self.wire.msgs_recv.load(Ordering::Relaxed),
+            decode_errors: self.wire.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_sent(&self, syscalls: u64, datagrams: u64, msgs: u64) {
+        self.wire.send_syscalls.fetch_add(syscalls, Ordering::Relaxed);
+        self.wire
+            .datagrams_sent
+            .fetch_add(datagrams, Ordering::Relaxed);
+        self.wire.msgs_sent.fetch_add(msgs, Ordering::Relaxed);
+    }
+
+    /// Spawn the receive loop: decodes framed datagrams and forwards
+    /// their messages into `inbox` until shutdown is requested or the
+    /// inbox closes. The receive side drains the socket queue in batches
+    /// ([`crate::mmsg::BatchSocket::recv_batch`]) so a burst of
+    /// datagrams costs one syscall, not one each. Socket errors are
+    /// treated as omissions — counted into `recv_errors` (wire it to
+    /// `tw_udp_recv_errors_total`) and retried with a bounded backoff —
+    /// never as a reason to abandon the socket. Undecodable datagrams
+    /// (unknown wire version, truncation, corruption) are dropped and
+    /// counted: the model's omission failure.
     pub fn spawn_receiver(
         self: &Arc<Self>,
         inbox: InboxSender,
@@ -197,7 +379,10 @@ impl UdpTransport {
         std::thread::Builder::new()
             .name(format!("udp-rx-{}", me.me))
             .spawn(move || {
-                let mut buf = vec![0u8; 64 * 1024];
+                // 16 max-size slots: enough to drain a heavy burst per
+                // syscall without a multi-MB standing buffer.
+                let mut slots: Vec<RecvSlot> =
+                    (0..16).map(|_| RecvSlot::new(64 * 1024)).collect();
                 // A read timeout lets the thread notice inbox closure.
                 let _ = me
                     .socket
@@ -206,21 +391,30 @@ impl UdpTransport {
                 let max_backoff = std::time::Duration::from_millis(100);
                 let mut backoff = min_backoff;
                 loop {
-                    if me.stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if me.stop.load(Ordering::Relaxed) {
                         return;
                     }
-                    match me.socket.recv_from(&mut buf) {
-                        Ok((len, _src)) => {
+                    match me.socket.recv_batch(&mut slots) {
+                        Ok(filled) => {
                             backoff = min_backoff;
-                            if let Ok(msg) = Msg::from_bytes(&buf[..len]) {
-                                let from = msg.sender();
-                                if inbox.deliver(Incoming::Msg(from, msg)) == Deliver::Closed {
-                                    return;
+                            for slot in &slots[..filled] {
+                                match frame::decode_datagram(slot.datagram()) {
+                                    Ok(msgs) => {
+                                        me.wire.datagrams_recv.fetch_add(1, Ordering::Relaxed);
+                                        me.wire
+                                            .msgs_recv
+                                            .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+                                        let delivered = deliver_decoded(&inbox, msgs);
+                                        if delivered == Deliver::Closed {
+                                            return;
+                                        }
+                                        // Shed reads as datagram loss.
+                                    }
+                                    Err(_) => {
+                                        me.wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                             }
-                            // Undecodable datagrams are dropped — the
-                            // model's omission failure. So are shed ones
-                            // (inbox full).
                         }
                         Err(e) => match classify_recv_error(e.kind()) {
                             RecvErrorAction::Poll => backoff = min_backoff,
@@ -239,20 +433,101 @@ impl UdpTransport {
     }
 }
 
+/// Hand one decoded datagram's messages to the inbox: single messages
+/// as [`Incoming::Msg`], coalesced datagrams as one [`Incoming::Batch`]
+/// (one channel op, one dispatch at the executor).
+fn deliver_decoded(inbox: &InboxSender, mut msgs: Vec<Msg>) -> Deliver {
+    match msgs.len() {
+        0 => Deliver::Delivered, // decode_datagram never returns empty
+        1 => {
+            let msg = msgs.pop().expect("len 1");
+            inbox.deliver(Incoming::Msg(msg.sender(), msg))
+        }
+        _ => {
+            let from = msgs[0].sender();
+            inbox.deliver(Incoming::Batch(from, msgs))
+        }
+    }
+}
+
 impl Transport for UdpTransport {
     fn send(&self, to: ProcessId, msg: &Msg) {
         if let Some(addr) = self.peers.get(&to) {
-            let _ = self.socket.send_to(&msg.to_bytes(), addr);
+            let dgram = frame::encode_single(msg);
+            let _ = self.socket.send_to(&dgram, addr);
+            self.note_sent(1, 1, 1);
         }
     }
 
     fn broadcast(&self, from: ProcessId, msg: &Msg) {
-        let bytes = msg.to_bytes();
-        for (pid, addr) in &self.peers {
-            if *pid != from {
-                let _ = self.socket.send_to(&bytes, addr);
+        // Encode once, fan out through one vectored submission.
+        let dgram = frame::encode_single(msg);
+        let items: Vec<(&[u8], SocketAddr)> = self
+            .peer_list
+            .iter()
+            .filter(|(pid, _)| *pid != from)
+            .map(|(_, addr)| (dgram.as_slice(), *addr))
+            .collect();
+        if items.is_empty() {
+            return;
+        }
+        let syscalls = self.socket.send_batch(&items);
+        self.note_sent(syscalls as u64, items.len() as u64, items.len() as u64);
+    }
+
+    /// The coalesced hot path: one multi-frame datagram per destination
+    /// (encoded into reusable scratch, broadcast frames encoded once
+    /// per destination set), the whole fan-out submitted through
+    /// [`crate::mmsg::BatchSocket::send_batch`].
+    fn flush(&self, from: ProcessId, batch: &mut OutBatch) {
+        if batch.items.is_empty() {
+            return;
+        }
+        let dests: Vec<(ProcessId, SocketAddr)> = self
+            .peer_list
+            .iter()
+            .filter(|(pid, _)| *pid != from)
+            .copied()
+            .collect();
+        if dests.is_empty() {
+            batch.items.clear();
+            return;
+        }
+        // One reusable builder per destination.
+        while batch.builders.len() < dests.len() {
+            batch.builders.push(FrameBuilder::new());
+        }
+        for b in &mut batch.builders[..dests.len()] {
+            b.reset();
+        }
+        let mut msgs_encoded = 0u64;
+        for item in &batch.items {
+            match item {
+                OutItem::Broadcast(m) => {
+                    for b in &mut batch.builders[..dests.len()] {
+                        b.push_msg(m);
+                    }
+                    msgs_encoded += dests.len() as u64;
+                }
+                OutItem::Send(to, m) => {
+                    if let Some(i) = dests.iter().position(|(pid, _)| pid == to) {
+                        batch.builders[i].push_msg(m);
+                        msgs_encoded += 1;
+                    }
+                }
             }
         }
+        let items: Vec<(&[u8], SocketAddr)> = batch.builders[..dests.len()]
+            .iter()
+            .zip(&dests)
+            .filter(|(b, _)| !b.is_empty())
+            .map(|(b, (_, addr))| (b.bytes(), *addr))
+            .collect();
+        if !items.is_empty() {
+            let syscalls = self.socket.send_batch(&items);
+            self.note_sent(syscalls as u64, items.len() as u64, msgs_encoded);
+        }
+        batch.items.clear();
     }
 }
 
@@ -260,13 +535,26 @@ impl Transport for UdpTransport {
 mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
-    use tw_proto::{ClockSyncMsg, HwTime};
+    use bytes::Bytes;
+    use tw_proto::{ClockSyncMsg, HwTime, Incarnation, Ordinal, Proposal, Semantics, SyncTime};
 
     fn sample(from: u16) -> Msg {
         Msg::ClockSync(ClockSyncMsg::Request {
             sender: ProcessId(from),
             rid: 7,
             hw_send: HwTime(1),
+        })
+    }
+
+    fn proposal(from: u16, seq: u64) -> Msg {
+        Msg::Proposal(Proposal {
+            sender: ProcessId(from),
+            incarnation: Incarnation(0),
+            seq,
+            send_ts: SyncTime(seq as i64),
+            hdo: Ordinal::ZERO,
+            semantics: Semantics::UNORDERED_WEAK,
+            payload: Bytes::from_static(b"payload"),
         })
     }
 
@@ -278,6 +566,7 @@ mod tests {
         t.send(ProcessId(1), &sample(0));
         match rx1.try_recv().unwrap() {
             Incoming::Msg(from, _) => assert_eq!(from, ProcessId(0)),
+            other => panic!("unexpected {other:?}"),
         }
         assert!(rx0.try_recv().is_err());
     }
@@ -306,13 +595,90 @@ mod tests {
     }
 
     #[test]
+    fn mem_transport_flush_coalesces_per_destination() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let (tx2, rx2) = unbounded();
+        let t = MemTransport::new(vec![tx0.into(), tx1.into(), tx2.into()]);
+        let mut batch = OutBatch::new();
+        batch.push_broadcast(proposal(0, 1));
+        batch.push_broadcast(proposal(0, 2));
+        batch.push_send(ProcessId(1), sample(0));
+        t.flush(ProcessId(0), &mut batch);
+        assert!(batch.is_empty(), "flush drains the batch");
+        assert!(rx0.try_recv().is_err(), "nothing loops back to sender");
+        // Destination 1: one Batch of [p1, p2, clock-sync], in order.
+        match rx1.try_recv().unwrap() {
+            Incoming::Batch(from, msgs) => {
+                assert_eq!(from, ProcessId(0));
+                assert_eq!(msgs.len(), 3);
+                assert!(matches!(&msgs[0], Msg::Proposal(p) if p.seq == 1));
+                assert!(matches!(&msgs[1], Msg::Proposal(p) if p.seq == 2));
+                assert!(matches!(&msgs[2], Msg::ClockSync(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(rx1.try_recv().is_err(), "exactly one channel op");
+        // Destination 2: only the broadcasts.
+        match rx2.try_recv().unwrap() {
+            Incoming::Batch(from, msgs) => {
+                assert_eq!(from, ProcessId(0));
+                assert_eq!(msgs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_transport_flush_single_message_stays_msg() {
+        let (tx0, _rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let t = MemTransport::new(vec![tx0.into(), tx1.into()]);
+        let mut batch = OutBatch::new();
+        batch.push_send(ProcessId(1), sample(0));
+        t.flush(ProcessId(0), &mut batch);
+        assert!(matches!(rx1.try_recv().unwrap(), Incoming::Msg(..)));
+    }
+
+    #[test]
+    fn default_flush_decomposes_per_message() {
+        /// A transport that records call granularity (the chaos
+        /// transports depend on per-message decomposition for their
+        /// per-message fault fates).
+        struct Recorder(std::sync::Mutex<Vec<&'static str>>);
+        impl Transport for Recorder {
+            fn send(&self, _to: ProcessId, _msg: &Msg) {
+                self.0.lock().unwrap().push("send");
+            }
+            fn broadcast(&self, _from: ProcessId, _msg: &Msg) {
+                self.0.lock().unwrap().push("broadcast");
+            }
+        }
+        let t = Recorder(std::sync::Mutex::new(Vec::new()));
+        let mut batch = OutBatch::new();
+        batch.push_broadcast(proposal(0, 1));
+        batch.push_send(ProcessId(1), sample(0));
+        batch.push_broadcast(proposal(0, 2));
+        t.flush(ProcessId(0), &mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(
+            *t.0.lock().unwrap(),
+            vec!["broadcast", "send", "broadcast"],
+            "default flush preserves order and per-message granularity"
+        );
+    }
+
+    #[test]
     fn bounded_inbox_sheds_and_counts_overflow() {
         let dropped = Counter::default();
         let (tx, rx) = node_inbox(2, Some(dropped.clone()));
-        let mesh = MemTransport::new(vec![InboxSender::new(
-            crossbeam::channel::unbounded().0, // rank 0 unused
-            None,
-        ), tx]);
+        let mesh = MemTransport::new(vec![
+            InboxSender::new(
+                crossbeam::channel::unbounded().0, // rank 0 unused
+                None,
+            ),
+            tx,
+        ]);
         for _ in 0..5 {
             mesh.send(ProcessId(1), &sample(0));
         }
@@ -341,12 +707,10 @@ mod tests {
         assert_eq!(classify_recv_error(Other), RecvErrorAction::Retry);
     }
 
-    #[test]
-    fn udp_transport_round_trip() {
-        let a_addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
-        // Bind two sockets on ephemeral ports, then exchange.
-        let tmp_a = UdpSocket::bind(a_addr).unwrap();
-        let tmp_b = UdpSocket::bind(a_addr).unwrap();
+    fn udp_pair() -> (Arc<UdpTransport>, Arc<UdpTransport>) {
+        let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let tmp_a = UdpSocket::bind(any).unwrap();
+        let tmp_b = UdpSocket::bind(any).unwrap();
         let addr_a = tmp_a.local_addr().unwrap();
         let addr_b = tmp_b.local_addr().unwrap();
         drop(tmp_a);
@@ -355,6 +719,12 @@ mod tests {
             [(ProcessId(0), addr_a), (ProcessId(1), addr_b)].into();
         let ta = UdpTransport::bind(ProcessId(0), addr_a, peers.clone()).unwrap();
         let tb = UdpTransport::bind(ProcessId(1), addr_b, peers).unwrap();
+        (ta, tb)
+    }
+
+    #[test]
+    fn udp_transport_round_trip() {
+        let (ta, tb) = udp_pair();
         let (tx, rx) = unbounded();
         let _h = tb.spawn_receiver(tx.into(), None);
         ta.send(ProcessId(1), &sample(0));
@@ -363,6 +733,63 @@ mod tests {
                 assert_eq!(from, ProcessId(0));
                 assert_eq!(msg, sample(0));
             }
+            other => panic!("unexpected {other:?}"),
         }
+        let stats = ta.wire_stats();
+        assert_eq!(stats.msgs_sent, 1);
+        assert_eq!(stats.datagrams_sent, 1);
+    }
+
+    #[test]
+    fn udp_flush_coalesces_into_one_datagram_per_destination() {
+        let (ta, tb) = udp_pair();
+        let (tx, rx) = unbounded();
+        let _h = tb.spawn_receiver(tx.into(), None);
+        let mut batch = OutBatch::new();
+        for seq in 1..=4 {
+            batch.push_broadcast(proposal(0, seq));
+        }
+        batch.push_send(ProcessId(1), sample(0));
+        ta.flush(ProcessId(0), &mut batch);
+        assert!(batch.is_empty());
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            Incoming::Batch(from, msgs) => {
+                assert_eq!(from, ProcessId(0));
+                assert_eq!(msgs.len(), 5, "whole dispatch in one datagram");
+                for (i, m) in msgs[..4].iter().enumerate() {
+                    assert!(matches!(m, Msg::Proposal(p) if p.seq == i as u64 + 1));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = ta.wire_stats();
+        assert_eq!(stats.datagrams_sent, 1, "one destination, one datagram");
+        assert_eq!(stats.msgs_sent, 5);
+        assert_eq!(stats.send_syscalls, 1);
+        // Receiver-side accounting.
+        let rstats = tb.wire_stats();
+        assert_eq!(rstats.datagrams_recv, 1);
+        assert_eq!(rstats.msgs_recv, 5);
+    }
+
+    #[test]
+    fn udp_receiver_drops_unknown_version_and_counts_it() {
+        let (ta, tb) = udp_pair();
+        let (tx, rx) = unbounded();
+        let _h = tb.spawn_receiver(tx.into(), None);
+        // A legacy v1-encoded message: leading tag byte, not a version
+        // byte. The receiver must reject it (explicit version bump, no
+        // silent fallback) and count the drop.
+        let v1 = tw_proto::Encode::to_bytes(&sample(0));
+        let addr = tb.socket.local_addr().unwrap();
+        ta.socket.send_to(&v1, addr).unwrap();
+        // Then a valid v2 datagram to prove the loop survived.
+        ta.send(ProcessId(1), &sample(0));
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            Incoming::Msg(_, msg) => assert_eq!(msg, sample(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(tb.wire_stats().decode_errors, 1);
+        assert_eq!(tb.wire_stats().datagrams_recv, 1);
     }
 }

@@ -80,6 +80,18 @@ pub struct Stats {
     registry: Registry,
     by_kind: BTreeMap<&'static str, KindHandles>,
     sends_by_process: BTreeMap<ProcessId, Counter>,
+    wire_handles: Option<WireHandles>,
+}
+
+/// Counters for the coalesced wire model (`wire.datagrams`,
+/// `wire.flushes`): what a batching runtime actually puts on the wire —
+/// at most one datagram per destination per dispatch — alongside the
+/// historical per-message `datagrams` ledger, which is deliberately left
+/// unchanged so T1–T11 stay comparable across the batching change.
+#[derive(Debug, Clone)]
+struct WireHandles {
+    datagrams: Counter,
+    flushes: Counter,
 }
 
 impl Stats {
@@ -93,6 +105,7 @@ impl Stats {
         self.registry = Registry::new();
         self.by_kind.clear();
         self.sends_by_process.clear();
+        self.wire_handles = None;
     }
 
     /// The metrics registry behind the ledger. Useful for exporting the
@@ -126,6 +139,40 @@ impl Stats {
     /// Record one datagram put on the wire.
     pub fn record_datagram(&mut self, kind: &'static str) {
         self.kind_mut(kind).datagrams.inc();
+    }
+
+    /// Record one dispatch flush under the coalesced wire model:
+    /// `datagrams` destinations received at least one message, so a
+    /// batching runtime pays `datagrams` wire datagrams for the whole
+    /// dispatch. A flush that sent nothing is not recorded.
+    pub fn record_wire_flush(&mut self, datagrams: u64) {
+        if datagrams == 0 {
+            return;
+        }
+        let registry = &self.registry;
+        let h = self.wire_handles.get_or_insert_with(|| WireHandles {
+            datagrams: registry.counter("wire.datagrams"),
+            flushes: registry.counter("wire.flushes"),
+        });
+        h.flushes.inc();
+        h.datagrams.add(datagrams);
+    }
+
+    /// Coalesced wire datagrams (≤ the per-message `datagrams` total;
+    /// the gap is what batching saves).
+    pub fn wire_datagrams(&self) -> u64 {
+        self.wire_handles
+            .as_ref()
+            .map(|h| h.datagrams.get())
+            .unwrap_or(0)
+    }
+
+    /// Dispatch flushes that put at least one datagram on the wire.
+    pub fn wire_flushes(&self) -> u64 {
+        self.wire_handles
+            .as_ref()
+            .map(|h| h.flushes.get())
+            .unwrap_or(0)
     }
 
     /// Record a datagram delivered to a live destination.
@@ -221,6 +268,15 @@ impl Clone for Stats {
                 .or_insert_with(|| registry.counter(&format!("sends.by_process.{}", pid.0)))
                 .add(c.get());
         }
+        if let Some(h) = &self.wire_handles {
+            let fresh = WireHandles {
+                datagrams: out.registry.counter("wire.datagrams"),
+                flushes: out.registry.counter("wire.flushes"),
+            };
+            fresh.datagrams.add(h.datagrams.get());
+            fresh.flushes.add(h.flushes.get());
+            out.wire_handles = Some(fresh);
+        }
         out
     }
 }
@@ -244,6 +300,23 @@ mod tests {
         assert_eq!(k.delivered, 2);
         assert_eq!(k.late, 1);
         assert_eq!(k.dropped, 1);
+    }
+
+    #[test]
+    fn wire_flushes_accumulate_and_skip_empty() {
+        let mut s = Stats::new();
+        s.record_wire_flush(0); // nothing sent: not a flush
+        assert_eq!(s.wire_flushes(), 0);
+        assert_eq!(s.wire_datagrams(), 0);
+        s.record_wire_flush(4);
+        s.record_wire_flush(1);
+        assert_eq!(s.wire_flushes(), 2);
+        assert_eq!(s.wire_datagrams(), 5);
+        assert_eq!(s.registry().counter_value("wire.datagrams"), 5);
+        assert_eq!(s.registry().counter_value("wire.flushes"), 2);
+        s.reset();
+        assert_eq!(s.wire_datagrams(), 0);
+        assert_eq!(s.wire_flushes(), 0);
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! `cargo xtask bench-gate` — the CI perf-regression gate.
+//!
+//! Compares a freshly generated bench JSON (from `exp_proto_codec` /
+//! `exp_hotpath`, `--out`) against the committed baseline at the repo
+//! root and fails when any metric regressed by more than the threshold
+//! (default 25%). Metrics declare their direction (`"better": "lower"`
+//! or `"higher"`); regression is always measured as relative worsening
+//! in that direction, so a faster-than-baseline run never fails.
+//!
+//! Timing metrics are machine-dependent, so each metric also carries
+//! `"portable"`: when the baseline and candidate `machine` tags differ,
+//! only portable metrics (wire sizes, structural ratios) are compared
+//! and the rest are reported as skipped. Baseline refresh procedure is
+//! in DESIGN.md §12.
+//!
+//! Zero dependencies by design — the gate must build in seconds on a
+//! cold CI runner and inside the offline shadow harness, so it carries
+//! its own ~100-line JSON reader instead of serde_json.
+
+use std::fmt;
+
+/// Default failure threshold: >25% relative worsening.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// One measured metric from a bench JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name, unique within the file.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// `"lower"` or `"higher"` — which direction is better.
+    pub better: String,
+    /// Machine-independent metrics compare across machine tags.
+    pub portable: bool,
+}
+
+/// A parsed bench result file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// Which probe produced it (`proto_codec`, `hotpath`).
+    pub bench: String,
+    /// `os-arch` tag of the machine that ran the probe.
+    pub machine: String,
+    /// The measurements.
+    pub metrics: Vec<Metric>,
+}
+
+/// Outcome for one baseline metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within threshold (relative worsening, may be negative = improved).
+    Ok(f64),
+    /// Worsened past the threshold.
+    Regressed(f64),
+    /// Non-portable metric skipped because machine tags differ.
+    SkippedMachine,
+    /// Present in the baseline but missing from the candidate.
+    Missing,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Ok(d) => write!(f, "ok ({:+.1}%)", d * 100.0),
+            Verdict::Regressed(d) => write!(f, "REGRESSED ({:+.1}%)", d * 100.0),
+            Verdict::SkippedMachine => write!(f, "skipped (machine mismatch)"),
+            Verdict::Missing => write!(f, "MISSING from candidate"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the bench schema.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Reader {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("utf8"))?;
+        // tw-lint: allow(float-state) -- bench JSON values are measurements, not protocol state
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let len = match c {
+                        _ if c < 0x80 => 1,
+                        _ if c >= 0xF0 => 4,
+                        _ if c >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[self.pos..end])
+                            .map_err(|_| self.err("utf8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse a bench result file.
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    let mut r = Reader::new(text);
+    let root = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(r.err("trailing data after JSON value"));
+    }
+    let bench = root
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing `bench`")?
+        .to_string();
+    let machine = root
+        .get("machine")
+        .and_then(Json::as_str)
+        .ok_or("missing `machine`")?
+        .to_string();
+    let raw = match root.get("metrics") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("missing `metrics` array".into()),
+    };
+    let mut metrics = Vec::with_capacity(raw.len());
+    for m in raw {
+        let name = m
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("metric missing `name`")?
+            .to_string();
+        let value = m
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("metric `{name}` missing numeric `value`"))?;
+        let better = m
+            .get("better")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("metric `{name}` missing `better`"))?
+            .to_string();
+        if better != "lower" && better != "higher" {
+            return Err(format!("metric `{name}`: `better` must be lower|higher"));
+        }
+        let portable = m
+            .get("portable")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("metric `{name}` missing `portable`"))?;
+        metrics.push(Metric {
+            name,
+            value,
+            better,
+            portable,
+        });
+    }
+    if metrics.is_empty() {
+        return Err("metrics array is empty".into());
+    }
+    Ok(BenchFile {
+        bench,
+        machine,
+        metrics,
+    })
+}
+
+/// Relative worsening of `cand` against `base` in the metric's better
+/// direction: positive = regressed, negative = improved.
+fn worsening(better: &str, base: f64, cand: f64) -> f64 {
+    // tw-lint: allow(float-state) -- gate arithmetic over measurements
+    if base <= 0.0 || cand <= 0.0 {
+        // Degenerate measurements: treat any sign flip as a wash.
+        return 0.0;
+    }
+    if better == "lower" {
+        cand / base - 1.0
+    } else {
+        base / cand - 1.0
+    }
+}
+
+/// Compare candidate against baseline; one verdict per baseline metric.
+pub fn compare(baseline: &BenchFile, candidate: &BenchFile, threshold: f64) -> Vec<(String, Verdict)> {
+    let cross_machine = baseline.machine != candidate.machine;
+    baseline
+        .metrics
+        .iter()
+        .map(|b| {
+            if cross_machine && !b.portable {
+                return (b.name.clone(), Verdict::SkippedMachine);
+            }
+            match candidate.metrics.iter().find(|c| c.name == b.name) {
+                None => (b.name.clone(), Verdict::Missing),
+                Some(c) => {
+                    let d = worsening(&b.better, b.value, c.value);
+                    if d > threshold {
+                        (b.name.clone(), Verdict::Regressed(d))
+                    } else {
+                        (b.name.clone(), Verdict::Ok(d))
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Run the gate: print a verdict table, return `true` when it passes.
+pub fn run(baseline_path: &str, candidate_path: &str, threshold: f64) -> Result<bool, String> {
+    let base_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read baseline {baseline_path}: {e}"))?;
+    let cand_text = std::fs::read_to_string(candidate_path)
+        .map_err(|e| format!("read candidate {candidate_path}: {e}"))?;
+    let base = parse(&base_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let cand = parse(&cand_text).map_err(|e| format!("{candidate_path}: {e}"))?;
+    if base.bench != cand.bench {
+        return Err(format!(
+            "bench mismatch: baseline is `{}`, candidate is `{}`",
+            base.bench, cand.bench
+        ));
+    }
+    println!(
+        "bench-gate: {} — baseline {} ({}), candidate {} ({}), threshold {:.0}%",
+        base.bench,
+        baseline_path,
+        base.machine,
+        candidate_path,
+        cand.machine,
+        threshold * 100.0
+    );
+    let verdicts = compare(&base, &cand, threshold);
+    let mut pass = true;
+    for (name, v) in &verdicts {
+        println!("  {name:<30} {v}");
+        if matches!(v, Verdict::Regressed(_) | Verdict::Missing) {
+            pass = false;
+        }
+    }
+    if verdicts
+        .iter()
+        .all(|(_, v)| matches!(v, Verdict::SkippedMachine))
+    {
+        println!(
+            "  note: every metric skipped (machine mismatch, no portable metrics) — \
+             gate passes vacuously; refresh the baseline on this machine class"
+        );
+    }
+    Ok(pass)
+}
+
+/// Self-test: prove the gate trips on a doctored-slow candidate and
+/// passes an identical one. CI runs this before trusting the real
+/// comparison, so a gate that silently stopped failing breaks the build.
+pub fn self_test() -> Result<(), String> {
+    let baseline = r#"{
+  "bench": "selftest",
+  "schema": 1,
+  "machine": "test-rig",
+  "seed": 1,
+  "iters": 100,
+  "metrics": [
+    {"name": "encode_ns", "value": 100.0, "better": "lower", "portable": false},
+    {"name": "delivered_per_s", "value": 50000.0, "better": "higher", "portable": false},
+    {"name": "bytes_per_msg", "value": 64.0, "better": "lower", "portable": true}
+  ]
+}"#;
+    let base = parse(baseline)?;
+
+    // Identical candidate: must pass.
+    let same = compare(&base, &base, DEFAULT_THRESHOLD);
+    if !same.iter().all(|(_, v)| matches!(v, Verdict::Ok(_))) {
+        return Err(format!("identical candidate did not pass: {same:?}"));
+    }
+
+    // Doctored-slow candidate: encode 2x slower, throughput halved.
+    let doctored = baseline
+        .replace("\"value\": 100.0", "\"value\": 200.0")
+        .replace("\"value\": 50000.0", "\"value\": 25000.0");
+    let slow = parse(&doctored)?;
+    let verdicts = compare(&base, &slow, DEFAULT_THRESHOLD);
+    let regressed = verdicts
+        .iter()
+        .filter(|(_, v)| matches!(v, Verdict::Regressed(_)))
+        .count();
+    if regressed != 2 {
+        return Err(format!(
+            "doctored-slow candidate should trip exactly 2 metrics, got {regressed}: {verdicts:?}"
+        ));
+    }
+
+    // Improvement must never trip the gate.
+    let fast = parse(&baseline.replace("\"value\": 100.0", "\"value\": 10.0"))?;
+    if !compare(&base, &fast, DEFAULT_THRESHOLD)
+        .iter()
+        .all(|(_, v)| matches!(v, Verdict::Ok(_)))
+    {
+        return Err("an improvement tripped the gate".into());
+    }
+
+    // Cross-machine: non-portable metrics skip, portable ones still gate.
+    let other_machine = parse(
+        &doctored
+            .replace("test-rig", "other-rig")
+            .replace("\"value\": 64.0", "\"value\": 128.0"),
+    )?;
+    let cross = compare(&base, &other_machine, DEFAULT_THRESHOLD);
+    let skipped = cross
+        .iter()
+        .filter(|(_, v)| matches!(v, Verdict::SkippedMachine))
+        .count();
+    let cross_regressed = cross
+        .iter()
+        .filter(|(_, v)| matches!(v, Verdict::Regressed(_)))
+        .count();
+    if skipped != 2 || cross_regressed != 1 {
+        return Err(format!(
+            "cross-machine: expected 2 skipped + 1 regressed (portable), got {cross:?}"
+        ));
+    }
+
+    println!("bench-gate --self-test: gate trips on doctored-slow fixture, passes clean runs");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_probe_shaped_json() {
+        let f = parse(
+            r#"{"bench": "proto_codec", "schema": 1, "machine": "linux-x86_64",
+                "seed": 42, "iters": 2000,
+                "metrics": [
+                  {"name": "a", "value": 1.5, "better": "lower", "portable": true},
+                  {"name": "b", "value": -2e3, "better": "higher", "portable": false}
+                ]}"#,
+        )
+        .unwrap();
+        assert_eq!(f.bench, "proto_codec");
+        assert_eq!(f.machine, "linux-x86_64");
+        assert_eq!(f.metrics.len(), 2);
+        assert_eq!(f.metrics[0].name, "a");
+        assert_eq!(f.metrics[1].value, -2000.0);
+        assert!(!f.metrics[1].portable);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"bench": "x"}"#).is_err());
+        assert!(parse(r#"{"bench": "x", "machine": "m", "metrics": []}"#).is_err());
+        assert!(parse(
+            r#"{"bench": "x", "machine": "m",
+                "metrics": [{"name": "a", "value": 1, "better": "sideways", "portable": true}]}"#
+        )
+        .is_err());
+        // Trailing garbage after the object.
+        assert!(parse(r#"{"bench":"x","machine":"m","metrics":[{"name":"a","value":1,"better":"lower","portable":true}]} x"#).is_err());
+    }
+
+    #[test]
+    fn worsening_is_direction_aware() {
+        // tw-lint: allow(float-state) -- test arithmetic over measurements
+        assert!((worsening("lower", 100.0, 130.0) - 0.30).abs() < 1e-9);
+        assert!((worsening("higher", 100.0, 80.0) - 0.25).abs() < 1e-9);
+        assert!(worsening("lower", 100.0, 90.0) < 0.0);
+        assert!(worsening("higher", 100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    fn gate_self_test_passes() {
+        self_test().unwrap();
+    }
+}

@@ -12,10 +12,15 @@
 //!   protocol and checks the paper's invariants at each terminal state
 //!   (see `tw_sim::explore` and the `explore` bin in `timewheel`).
 //!
+//! Plus one job about speed: [`bench_gate`], the CI perf-regression
+//! gate comparing fresh probe output against the committed
+//! `BENCH_*.json` baselines.
+//!
 //! Invoked via the `cargo xtask` alias (see `.cargo/config.toml`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_gate;
 pub mod lexer;
 pub mod lint;

@@ -50,6 +50,15 @@ copy_chaos_bin() {
   cp -p "$repo/crates/bench/src/bin/tw-chaos.rs" "$build/chaos/src/bin/tw-chaos.rs"
 }
 copy_chaos_bin
+copy_probe_bins() {
+  # Same pattern for the perf probes behind the bench gate: they are
+  # deliberately serde_json/rand/criterion-free, so the shadow build
+  # both compiles them and (for the pure-CPU codec probe) runs them.
+  mkdir -p "$build/probes/src/bin"
+  cp -p "$repo/crates/bench/src/bin/exp_proto_codec.rs" "$build/probes/src/bin/exp_proto_codec.rs"
+  cp -p "$repo/crates/bench/src/bin/exp_hotpath.rs" "$build/probes/src/bin/exp_hotpath.rs"
+}
+copy_probe_bins
 copy_crate obs
 copy_crate clock
 copy_crate sim
@@ -186,10 +195,31 @@ name = "tw-chaos"
 path = "src/bin/tw-chaos.rs"
 EOF
 
+cat > "$build/probes/Cargo.toml" <<EOF
+[package]
+name = "tw-probes-shadow"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+timewheel = { path = "../core" }
+tw-proto = { path = "../proto" }
+tw-runtime = { path = "../runtime" }
+bytes = { path = "$stubs/bytes" }
+
+[[bin]]
+name = "exp_proto_codec"
+path = "src/bin/exp_proto_codec.rs"
+
+[[bin]]
+name = "exp_hotpath"
+path = "src/bin/exp_hotpath.rs"
+EOF
+
 cat > "$build/Cargo.toml" <<EOF
 [workspace]
 resolver = "2"
-members = ["proto", "obs", "clock", "sim", "core", "runtime", "rsm", "xtask", "chaos"]
+members = ["proto", "obs", "clock", "sim", "core", "runtime", "rsm", "xtask", "chaos", "probes"]
 EOF
 
 cd "$build"
@@ -216,3 +246,13 @@ if cargo run --offline -q -p tw-obs --bin tw-trace -- /nonexistent.twrec 2>/dev/
   echo "tw-trace: expected exit 2 on unreadable input" >&2
   exit 1
 fi
+
+# Perf-gate plumbing must work end to end offline: the pure-CPU codec
+# probe runs for real (tiny iteration count), its JSON feeds the gate,
+# and the gate's self-test proves it still trips on a doctored-slow
+# fixture. The cluster-based hot-path probe is compile-checked above
+# (it needs multi-core scheduling this container lacks).
+cargo run --offline -q -p tw-probes-shadow --bin exp_proto_codec -- --iters 256 --out /tmp/shadow-codec.json
+cargo run --offline -q -p xtask --bin xtask -- bench-gate --self-test
+cargo run --offline -q -p xtask --bin xtask -- bench-gate \
+  --baseline /tmp/shadow-codec.json --candidate /tmp/shadow-codec.json
