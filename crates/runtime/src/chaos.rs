@@ -27,7 +27,6 @@ use crate::node::{
     spawn_node, DeliveryHook, ExecutorKind, Node, RecorderSetup, SpawnArgs, INBOX_CAPACITY,
 };
 use crate::transport::{Incoming, InboxSender, node_inbox, Transport};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use timewheel::{Config, Member};
@@ -82,53 +81,10 @@ impl PauseGate {
     }
 }
 
-/// A node's locally observable protocol status — what the node itself
-/// can assert about its group without any global observer. This is the
-/// §6 fail-awareness interface: a minority member's `up_to_date` goes
-/// false from its *own* clock and watchdog, with no oracle involved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NodeStatus {
-    /// The member's own fail-aware up-to-date indicator.
-    pub up_to_date: bool,
-    /// Size of the member's current view (0 before the first install).
-    pub view_len: usize,
-    /// Sequence number of the member's current view.
-    pub view_seq: u64,
-}
-
-/// Lock-free cell the executor publishes [`NodeStatus`] into after
-/// every dispatch, so harness code can poll a live node without
-/// touching the member.
-#[derive(Debug, Default)]
-pub struct StatusCell(AtomicU64);
-
-const STATUS_SEQ_BITS: u32 = 48;
-const STATUS_LEN_BITS: u32 = 8;
-
-impl StatusCell {
-    /// A cell reading "not up to date, no view".
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Publish a fresh status (executor side).
-    pub fn publish(&self, s: NodeStatus) {
-        let packed = ((s.up_to_date as u64) << 63)
-            | (((s.view_len as u64) & ((1 << STATUS_LEN_BITS) - 1)) << STATUS_SEQ_BITS)
-            | (s.view_seq & ((1 << STATUS_SEQ_BITS) - 1));
-        self.0.store(packed, Ordering::Release);
-    }
-
-    /// Read the latest published status (harness side).
-    pub fn read(&self) -> NodeStatus {
-        let packed = self.0.load(Ordering::Acquire);
-        NodeStatus {
-            up_to_date: packed >> 63 == 1,
-            view_len: ((packed >> STATUS_SEQ_BITS) & ((1 << STATUS_LEN_BITS) - 1)) as usize,
-            view_seq: packed & ((1 << STATUS_SEQ_BITS) - 1),
-        }
-    }
-}
+// The status cell lives in its own loom-checkable module; re-exported
+// here because the chaos harness is where harness code historically
+// found it.
+pub use crate::status::{NodeStatus, StatusCell};
 
 /// A channel mesh like [`crate::transport::MemTransport`], but with
 /// switchable slots: a crashed node's slot is unplugged (datagrams to
@@ -779,30 +735,11 @@ impl ChaosController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
     use tw_proto::{ClockSyncMsg, HwTime};
 
     fn p(n: u16) -> ProcessId {
         ProcessId(n)
-    }
-
-    #[test]
-    fn status_cell_round_trips() {
-        let cell = StatusCell::new();
-        assert_eq!(
-            cell.read(),
-            NodeStatus {
-                up_to_date: false,
-                view_len: 0,
-                view_seq: 0
-            }
-        );
-        let s = NodeStatus {
-            up_to_date: true,
-            view_len: 5,
-            view_seq: 1234,
-        };
-        cell.publish(s);
-        assert_eq!(cell.read(), s);
     }
 
     #[test]

@@ -371,7 +371,11 @@ impl Drop for ChaosNet {
     fn drop(&mut self) {
         self.pump.lock().shutdown = true;
         self.pump.cv.notify_all();
-        if let Some(h) = self.pump_thread.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        // Take the handle in its own statement: as an `if let` scrutinee
+        // the guard temporary would live across the join, and the pump
+        // thread's own drop path could then deadlock against us.
+        let handle = self.pump_thread.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
     }

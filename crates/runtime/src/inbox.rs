@@ -1,0 +1,211 @@
+//! Bounded node inboxes with shed-on-overflow delivery.
+//!
+//! The protocol assumes an unreliable datagram service, and the inbox
+//! leans on that: when a node cannot keep up, excess datagrams are
+//! *shed* — counted, never queued unboundedly, never blocking the
+//! sender. [`InboxSender::deliver`] is called from transport receiver
+//! threads and from other nodes' executor threads, so its no-block
+//! guarantee is what keeps one slow node from stalling its peers (the
+//! Lifeguard failure mode the chaos harness exists to provoke).
+//!
+//! Like [`crate::status`], this module compiles under loom
+//! (`RUSTFLAGS="--cfg loom"`): the real build delivers into a crossbeam
+//! bounded channel, the loom build into a loom-modeled bounded queue
+//! with the same `try_send` semantics, so `tests/loom.rs` can
+//! exhaustively check the deliver/shed/close race: every datagram is
+//! either delivered or counted shed — none vanish — and delivery after
+//! the receiver is gone reports [`Deliver::Closed`].
+
+#[cfg(not(loom))]
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use tw_obs::Counter;
+use tw_proto::{Msg, ProcessId};
+
+/// What lands in a node's inbox.
+#[derive(Debug, Clone)]
+pub enum Incoming {
+    /// A single-message datagram from another node.
+    Msg(ProcessId, Msg),
+    /// A coalesced multi-message datagram from another node; the
+    /// messages are applied in order by one dispatch.
+    Batch(ProcessId, Vec<Msg>),
+}
+
+/// What became of a datagram handed to an inbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deliver {
+    /// Queued for the node.
+    Delivered,
+    /// Inbox full — shed (an omission; counted when a counter is
+    /// attached).
+    Shed,
+    /// The node is gone; datagrams to crashed processes vanish.
+    Closed,
+}
+
+/// The sending half of a node inbox: a channel plus the shed counter.
+/// Never blocks — a full inbox sheds the datagram, which the protocol
+/// treats exactly like network loss.
+#[derive(Clone)]
+pub struct InboxSender {
+    tx: Sender<Incoming>,
+    dropped: Option<Counter>,
+}
+
+impl InboxSender {
+    /// Wrap a channel sender; `dropped` counts shed datagrams.
+    pub fn new(tx: Sender<Incoming>, dropped: Option<Counter>) -> Self {
+        InboxSender { tx, dropped }
+    }
+
+    /// Offer one datagram to the node.
+    pub fn deliver(&self, inc: Incoming) -> Deliver {
+        match self.tx.try_send(inc) {
+            Ok(()) => Deliver::Delivered,
+            Err(TrySendError::Full(_)) => {
+                if let Some(c) = &self.dropped {
+                    c.inc();
+                }
+                Deliver::Shed
+            }
+            Err(TrySendError::Disconnected(_)) => Deliver::Closed,
+        }
+    }
+}
+
+#[cfg(not(loom))]
+impl From<Sender<Incoming>> for InboxSender {
+    fn from(tx: Sender<Incoming>) -> Self {
+        InboxSender::new(tx, None)
+    }
+}
+
+/// Build a bounded node inbox that sheds on overflow; `dropped` is
+/// bumped per shed datagram (wire it to `tw_inbox_dropped_total`).
+pub fn node_inbox(capacity: usize, dropped: Option<Counter>) -> (InboxSender, Receiver<Incoming>) {
+    let (tx, rx) = bounded(capacity.max(1));
+    (InboxSender::new(tx, dropped), rx)
+}
+
+/// Loom stand-in for the crossbeam bounded channel: a mutex-guarded
+/// ring with an atomic closed flag, exposing the same `try_send`
+/// contract (`Full` when at capacity, `Disconnected` once the receiver
+/// dropped) so [`InboxSender::deliver`] above compiles unchanged
+/// against it. Only the operations `deliver` exercises are modeled.
+#[cfg(loom)]
+mod loom_chan {
+    use loom::sync::atomic::{AtomicBool, Ordering};
+    use loom::sync::{Arc, Mutex};
+    use std::collections::VecDeque;
+
+    pub struct Shared<T> {
+        buf: Mutex<VecDeque<T>>,
+        cap: usize,
+        closed: AtomicBool,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Same shape as `crossbeam::channel::TrySendError`.
+    pub enum TrySendError<T> {
+        /// At capacity; the datagram comes back to the caller.
+        Full(T),
+        /// The receiving side is gone.
+        Disconnected(T),
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            buf: Mutex::new(VecDeque::new()),
+            cap,
+            closed: AtomicBool::new(false),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        pub fn try_send(&self, v: T) -> Result<(), TrySendError<T>> {
+            if self.0.closed.load(Ordering::Acquire) {
+                return Err(TrySendError::Disconnected(v));
+            }
+            let mut buf = self.0.buf.lock().unwrap();
+            if buf.len() >= self.0.cap {
+                return Err(TrySendError::Full(v));
+            }
+            buf.push_back(v);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Drain one queued item (the loom tests' dispatch stand-in).
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.buf.lock().unwrap().pop_front()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.closed.store(true, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(loom)]
+use loom_chan::{bounded, Receiver, Sender, TrySendError};
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use tw_proto::{ClockSyncMsg, HwTime};
+
+    fn msg(n: u16) -> Incoming {
+        Incoming::Msg(
+            ProcessId(n),
+            Msg::ClockSync(ClockSyncMsg::Request {
+                sender: ProcessId(n),
+                rid: n as u64,
+                hw_send: HwTime(1),
+            }),
+        )
+    }
+
+    #[test]
+    fn delivers_until_capacity_then_sheds_and_counts() {
+        let shed = Counter::default();
+        let (tx, rx) = node_inbox(2, Some(shed.clone()));
+        assert_eq!(tx.deliver(msg(1)), Deliver::Delivered);
+        assert_eq!(tx.deliver(msg(2)), Deliver::Delivered);
+        assert_eq!(tx.deliver(msg(3)), Deliver::Shed);
+        assert_eq!(shed.get(), 1);
+        // Draining makes room again.
+        let _ = rx.try_recv().unwrap();
+        assert_eq!(tx.deliver(msg(4)), Deliver::Delivered);
+        assert_eq!(shed.get(), 1);
+    }
+
+    #[test]
+    fn delivery_after_receiver_drop_reports_closed() {
+        let shed = Counter::default();
+        let (tx, rx) = node_inbox(2, Some(shed.clone()));
+        drop(rx);
+        assert_eq!(tx.deliver(msg(1)), Deliver::Closed);
+        // Closed is not shed: the node is gone, not overloaded.
+        assert_eq!(shed.get(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, _rx) = node_inbox(0, None);
+        assert_eq!(tx.deliver(msg(1)), Deliver::Delivered);
+        assert_eq!(tx.deliver(msg(2)), Deliver::Shed);
+    }
+}

@@ -24,29 +24,55 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+// The portable core — compiled under loom too (`RUSTFLAGS="--cfg
+// loom"`), so `tests/loom.rs` can model-check the hand-rolled
+// concurrency primitives in isolation (see DESIGN.md §13).
+pub mod inbox;
+pub mod status;
+
+// Everything that touches real threads, sockets, clocks or syscalls is
+// outside the loom model and compiles only in normal builds.
+#[cfg(not(loom))]
 pub mod chaos;
+#[cfg(not(loom))]
 pub mod clock;
+#[cfg(not(loom))]
 pub mod event_loop;
+#[cfg(not(loom))]
 pub mod fault;
+#[cfg(not(loom))]
 pub mod metrics;
+#[cfg(not(loom))]
 pub mod mmsg;
+#[cfg(not(loom))]
 pub mod node;
+#[cfg(not(loom))]
 pub mod threaded;
+#[cfg(not(loom))]
 pub mod transport;
 
+#[cfg(not(loom))]
 pub use chaos::{ChaosCluster, ChaosController, ChaosOp, ChaosReport, ChaosSchedule, FaultBudget};
+#[cfg(not(loom))]
 pub use clock::{RealClock, RuntimeClock};
+#[cfg(not(loom))]
 pub use fault::{ChaosNet, ChaosRng, FaultTransport, LinkPlan};
+#[cfg(not(loom))]
 pub use metrics::NodeMetrics;
+#[cfg(not(loom))]
 pub use node::{
     spawn_cluster, spawn_cluster_recorded, spawn_cluster_recorded_traced, spawn_cluster_traced,
     spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent, DeliveryHook, ExecutorKind, Node,
     NodeCommand, NodeOutput, RecorderSetup,
 };
+#[cfg(not(loom))]
 pub use mmsg::BatchSocket;
+pub use status::{NodeStatus, StatusCell};
+#[cfg(not(loom))]
 pub use transport::{MemTransport, OutBatch, Transport, UdpTransport, WireStats};
 
 /// Commonly used items.
+#[cfg(not(loom))]
 pub mod prelude {
     pub use crate::chaos::{ChaosCluster, ChaosController, ChaosOp, ChaosSchedule};
     pub use crate::clock::{RealClock, RuntimeClock};

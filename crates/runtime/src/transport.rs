@@ -27,7 +27,6 @@
 //! observably instead of growing an unbounded queue.
 
 use crate::mmsg::{BatchSocket, RecvSlot};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -112,70 +111,10 @@ impl OutBatch {
     }
 }
 
-/// What lands in a node's inbox.
-#[derive(Debug, Clone)]
-pub enum Incoming {
-    /// A single-message datagram from another node.
-    Msg(ProcessId, Msg),
-    /// A coalesced multi-message datagram from another node; the
-    /// messages are applied in order by one dispatch.
-    Batch(ProcessId, Vec<Msg>),
-}
-
-/// What became of a datagram handed to an inbox.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Deliver {
-    /// Queued for the node.
-    Delivered,
-    /// Inbox full — shed (an omission; counted when a counter is
-    /// attached).
-    Shed,
-    /// The node is gone; datagrams to crashed processes vanish.
-    Closed,
-}
-
-/// The sending half of a node inbox: a channel plus the shed counter.
-/// Never blocks — a full inbox sheds the datagram, which the protocol
-/// treats exactly like network loss.
-#[derive(Clone)]
-pub struct InboxSender {
-    tx: Sender<Incoming>,
-    dropped: Option<Counter>,
-}
-
-impl InboxSender {
-    /// Wrap a channel sender; `dropped` counts shed datagrams.
-    pub fn new(tx: Sender<Incoming>, dropped: Option<Counter>) -> Self {
-        InboxSender { tx, dropped }
-    }
-
-    /// Offer one datagram to the node.
-    pub fn deliver(&self, inc: Incoming) -> Deliver {
-        match self.tx.try_send(inc) {
-            Ok(()) => Deliver::Delivered,
-            Err(TrySendError::Full(_)) => {
-                if let Some(c) = &self.dropped {
-                    c.inc();
-                }
-                Deliver::Shed
-            }
-            Err(TrySendError::Disconnected(_)) => Deliver::Closed,
-        }
-    }
-}
-
-impl From<Sender<Incoming>> for InboxSender {
-    fn from(tx: Sender<Incoming>) -> Self {
-        InboxSender::new(tx, None)
-    }
-}
-
-/// Build a bounded node inbox that sheds on overflow; `dropped` is
-/// bumped per shed datagram (wire it to `tw_inbox_dropped_total`).
-pub fn node_inbox(capacity: usize, dropped: Option<Counter>) -> (InboxSender, Receiver<Incoming>) {
-    let (tx, rx) = bounded(capacity.max(1));
-    (InboxSender::new(tx, dropped), rx)
-}
+// The inbox types live in their own loom-checkable module
+// ([`crate::inbox`]); re-exported here because transports are where
+// callers historically found them.
+pub use crate::inbox::{node_inbox, Deliver, InboxSender, Incoming};
 
 /// In-process channel mesh: node `i`'s sender delivers into node `i`'s
 /// inbox channel.

@@ -6,7 +6,11 @@
 //! * [`lint`] — a static vocabulary pass that *forbids* the
 //!   nondeterminism vectors (wall clocks, ambient randomness,
 //!   hash-iteration order, floats in protocol state, direct I/O) in the
-//!   protocol crates; and
+//!   protocol crates;
+//! * [`concurrency`] — the host-side counterpart: lock-order and
+//!   blocking-call analysis plus an unsafe-surface audit over
+//!   `tw-runtime`/`tw-obs`, the crates the determinism lint
+//!   deliberately exempts; and
 //! * `explore` (a thin driver in `main.rs`) — the *dynamic* complement:
 //!   exhaustively runs every small-scope schedule through the real
 //!   protocol and checks the paper's invariants at each terminal state
@@ -22,5 +26,6 @@
 #![warn(missing_docs)]
 
 pub mod bench_gate;
+pub mod concurrency;
 pub mod lexer;
 pub mod lint;

@@ -157,9 +157,19 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Every rule name an annotation may legally reference: the
+/// determinism rules here plus the concurrency rules. Both passes
+/// validate annotations against this union so an allow for one pass
+/// doesn't read as a typo to the other.
+pub fn all_rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = RULES.iter().map(|r| r.name).collect();
+    names.extend(crate::concurrency::CONCURRENCY_RULES.iter().map(|(n, _)| *n));
+    names
+}
+
 /// Parsed allow annotations for one file.
 #[derive(Default)]
-struct Allows {
+pub(crate) struct Allows {
     /// (line, rule) pairs: silence `rule` on `line` and `line + 1`.
     line_allows: Vec<(usize, String)>,
     /// Rules silenced for the whole file.
@@ -168,7 +178,7 @@ struct Allows {
     errors: Vec<(usize, String)>,
 }
 
-fn parse_allows(src: &str) -> Allows {
+pub(crate) fn parse_allows(src: &str, known_rules: &[&'static str]) -> Allows {
     let mut a = Allows::default();
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
@@ -207,7 +217,7 @@ fn parse_allows(src: &str) -> Allows {
             continue;
         }
         for r in rules {
-            if !RULES.iter().any(|rr| rr.name == r) {
+            if !known_rules.contains(&r) {
                 a.errors
                     .push((line_no, format!("tw-lint allow of unknown rule `{r}`")));
                 continue;
@@ -222,7 +232,12 @@ fn parse_allows(src: &str) -> Allows {
 }
 
 impl Allows {
-    fn covers(&self, rule: &str, line: usize) -> bool {
+    /// Malformed-annotation findings collected during parsing.
+    pub(crate) fn errors(&self) -> &[(usize, String)] {
+        &self.errors
+    }
+
+    pub(crate) fn covers(&self, rule: &str, line: usize) -> bool {
         self.file_allows.iter().any(|r| r == rule)
             || self
                 .line_allows
@@ -233,7 +248,7 @@ impl Allows {
 
 /// Lint one source text. `file` is only used to label findings.
 pub fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
-    let allows = parse_allows(src);
+    let allows = parse_allows(src, &all_rule_names());
     let tokens = tokenize(src);
     let mut out = Vec::new();
     for (line, msg) in &allows.errors {

@@ -158,6 +158,12 @@ tw-obs = { path = "../obs" }
 bytes = { path = "$stubs/bytes" }
 crossbeam = { path = "$stubs/crossbeam" }
 parking_lot = { path = "$stubs/parking_lot" }
+
+[target.'cfg(loom)'.dependencies]
+loom = { path = "$stubs/loom" }
+
+[lints.rust]
+unexpected_cfgs = { level = "warn", check-cfg = ["cfg(loom)"] }
 EOF
 
 cat > "$build/rsm/Cargo.toml" <<EOF
@@ -236,6 +242,19 @@ cargo check --offline --workspace --all-targets
 # which has the real crossbeam and multi-core runners.
 rm -f runtime/tests/cluster.rs runtime/tests/chaos_cluster.rs
 cargo test --offline --workspace "$@" -- --skip "cluster::tests::"
+
+# Concurrency static analysis over the real sources (TW_XTASK_ROOT above):
+# the lock-order, blocking-call and unsafe-surface rules must report the
+# workspace clean, mirroring CI's concurrency-analysis job.
+cargo run --offline -q -p xtask --bin xtask -- lint-concurrency
+
+# Loom model tests. Offline this is a smoke run — the loom stub executes
+# each model body once under the OS schedule; networked CI substitutes
+# the real crate and explores every interleaving. RUSTFLAGS differ from
+# the main build, so a separate target cache keeps both incremental.
+CARGO_TARGET_DIR="$repo/tools/shadow/target-cache/loom" \
+  RUSTFLAGS="--cfg loom" \
+  cargo test --offline -p tw-runtime --test loom
 
 # The tw-trace analyzer CLI must build and run offline (its end-to-end
 # behaviour is covered by core's recorder_analyze test above; this
