@@ -31,6 +31,15 @@
 //! Usage: tw-chaos [--scenario loss|partition|crash|random] [--seed N]
 //!                 [--team N] [--executor event-loop|threaded|both]
 //!                 [--out DIR] [--repeat K]
+//!                 [--ops-base PORT] [--ops-addrs FILE]
+//!
+//! `--ops-base PORT` turns on the live telemetry plane: every node
+//! binds an ops endpoint at `127.0.0.1:(PORT + rank)` (falling back to
+//! an ephemeral port when the fixed one is taken), so an external
+//! scraper or `tw-top` can watch the cluster mid-chaos. `--ops-addrs
+//! FILE` writes the actual bound addresses (one per line, rank order)
+//! once the group has formed — CI's live-smoke step waits on that file
+//! before scraping.
 //!
 //! Exit codes: 0 all guarantees held, 1 a guarantee was violated,
 //! 2 usage or I/O error.
@@ -43,11 +52,13 @@ use tw_obs::{analyze, Analysis, Recording, TraceSet};
 use tw_proto::{Duration, Semantics};
 use tw_runtime::chaos::recovery_envelope;
 use tw_runtime::{
-    ChaosCluster, ChaosOp, ChaosSchedule, ExecutorKind, FaultBudget, LinkPlan, RecorderSetup,
+    ChaosCluster, ChaosOp, ChaosSchedule, ExecutorKind, FaultBudget, LinkPlan, OpsSetup,
+    RecorderSetup,
 };
 
 const USAGE: &str = "usage: tw-chaos [--scenario loss|partition|crash|random] [--seed N] \
-[--team N] [--executor event-loop|threaded|both] [--out DIR] [--repeat K]";
+[--team N] [--executor event-loop|threaded|both] [--out DIR] [--repeat K] \
+[--ops-base PORT] [--ops-addrs FILE]";
 
 #[derive(Clone)]
 struct Opts {
@@ -57,6 +68,10 @@ struct Opts {
     executors: Vec<ExecutorKind>,
     out: std::path::PathBuf,
     repeat: usize,
+    /// Base port for per-node ops endpoints; 0 = telemetry plane off.
+    ops_base: u16,
+    /// Where to write the bound ops addresses after formation.
+    ops_addrs: Option<std::path::PathBuf>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -67,6 +82,8 @@ fn parse_opts() -> Result<Opts, String> {
         executors: vec![ExecutorKind::EventLoop],
         out: "chaos-out".into(),
         repeat: 1,
+        ops_base: 0,
+        ops_addrs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,6 +112,14 @@ fn parse_opts() -> Result<Opts, String> {
                 };
             }
             "--out" => opts.out = val("--out")?.into(),
+            "--ops-base" => {
+                opts.ops_base =
+                    val("--ops-base")?.parse().map_err(|e| format!("--ops-base: {e}"))?;
+                if opts.ops_base == 0 {
+                    return Err("--ops-base must be nonzero".into());
+                }
+            }
+            "--ops-addrs" => opts.ops_addrs = Some(val("--ops-addrs")?.into()),
             "--repeat" => {
                 opts.repeat = val("--repeat")?.parse().map_err(|e| format!("--repeat: {e}"))?;
                 if opts.repeat == 0 {
@@ -259,11 +284,14 @@ fn run_once(
     schedule: &ChaosSchedule,
     episodes: &[Episode],
     dir: &std::path::Path,
+    ops: Option<&OpsSetup>,
+    ops_addrs: Option<&std::path::Path>,
 ) -> Result<RunOutcome, String> {
     let n = cfg.n;
     let setup = RecorderSetup::new(dir).capacity(4096);
-    let mut cluster = ChaosCluster::spawn_recorded(kind, cfg, schedule.seed, &setup, None)
-        .map_err(|e| format!("spawn recorded cluster: {e}"))?;
+    let mut cluster =
+        ChaosCluster::spawn_recorded_observed(kind, cfg, schedule.seed, &setup, None, ops)
+            .map_err(|e| format!("spawn recorded cluster: {e}"))?;
 
     let mut out = RunOutcome {
         formed: true,
@@ -282,6 +310,23 @@ fn run_once(
     if !out.formed {
         cluster.shutdown();
         return Ok(out);
+    }
+
+    // The group is up: publish where the ops endpoints actually landed
+    // (fixed base ports, or ephemeral fallbacks) so external scrapers
+    // can find them mid-run.
+    if let Some(path) = ops_addrs {
+        let lines: Vec<String> = (0..n)
+            .map(|r| {
+                cluster
+                    .ops_addr(r)
+                    .map(|a| a.to_string())
+                    .unwrap_or_default()
+            })
+            .collect();
+        std::fs::write(path, lines.join("\n") + "\n")
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("  ops endpoints: {}", lines.join(" "));
     }
 
     // Sticky per-episode observations, resolved after the run.
@@ -503,7 +548,16 @@ fn main() {
                 opts.scenario,
                 executor_name(kind)
             );
-            let outcome = match run_once(kind, cfg, &schedule, &episodes, &dir) {
+            let ops = (opts.ops_base != 0).then(|| OpsSetup::at(opts.ops_base));
+            let outcome = match run_once(
+                kind,
+                cfg,
+                &schedule,
+                &episodes,
+                &dir,
+                ops.as_ref(),
+                opts.ops_addrs.as_deref(),
+            ) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("tw-chaos: {e}");

@@ -32,6 +32,14 @@
 //!   per-node file (the node's *black box*), and the loader that reads
 //!   them back tolerating torn tails: everything before the damage
 //!   loads, damage is reported, never fatal.
+//! * [`export`] — Prometheus text exposition of a metrics snapshot, the
+//!   payload behind the ops server's `/metrics` endpoint.
+//! * [`server`] — the live telemetry plane: a per-node zero-dependency
+//!   ops endpoint (`/metrics`, `/status`, `/healthz`), a [`StreamSink`]
+//!   that ships TWFR-framed trace segments to subscribers, and the
+//!   [`LiveTail`] client that decodes them with the same
+//!   [`StreamReader`] the file loader uses — one reader, one
+//!   torn-stream contract for disk and wire alike.
 //! * [`analyze`] — offline cross-node correlation: merges per-node
 //!   recordings on the synchronized clock (ε as the fuzz bound),
 //!   reconstructs decision / recovery / reconfiguration spans with
@@ -53,9 +61,11 @@
 pub mod analyze;
 pub mod audit;
 pub mod codec;
+pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod recording;
+pub mod server;
 pub mod trace;
 
 pub use analyze::{
@@ -64,17 +74,19 @@ pub use analyze::{
 };
 pub use audit::{Auditor, SharedAuditor, Violation, AUDIT_CHECKS, AUDIT_COUNTER_PREFIX};
 pub use metrics::{
-    Counter, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_US,
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_US,
 };
-pub use recorder::{FlightRecorder, FlushGuard, RecorderConfig};
-pub use recording::{Damage, LoadError, Recording};
+pub use export::{is_valid_metric_name, render_labeled, sanitize_metric_name};
+pub use recorder::{encode_header, encode_segment, FlightRecorder, FlushGuard, RecorderConfig};
+pub use recording::{Damage, LoadError, Recording, StreamHeader, StreamReader};
+pub use server::{http_get, LiveTail, OpsServer, OpsSources, StreamSink};
 pub use trace::{ClockStamp, FaultKind, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::analyze::{analyze, Analysis, TraceSet};
     pub use crate::audit::{Auditor, SharedAuditor, Violation};
-    pub use crate::metrics::{Counter, Histogram, Registry, Snapshot};
+    pub use crate::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
     pub use crate::recorder::{FlightRecorder, RecorderConfig};
     pub use crate::recording::Recording;
     pub use crate::trace::{ClockStamp, FaultKind, TeeSink, TraceEvent, TraceSink, Tracer, VecSink};

@@ -1,8 +1,8 @@
-//! A lock-minimal metrics registry: named counters and bucketed latency
-//! histograms.
+//! A lock-minimal metrics registry: named counters, gauges and bucketed
+//! latency histograms.
 //!
 //! Registration takes a short mutex hold on a `BTreeMap`; the returned
-//! [`Counter`]/[`Histogram`] handles update shared atomics with no lock
+//! [`Counter`]/[`Gauge`]/[`Histogram`] handles update shared atomics with no lock
 //! at all, so hot protocol paths pay one `fetch_add` per event. All keys
 //! and snapshot orderings are `BTreeMap`-based, so two runs that count
 //! the same events export byte-identical JSON — the property the
@@ -17,7 +17,7 @@
 //! interpolation.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default histogram bucket upper bounds for latencies, in microseconds
@@ -62,6 +62,56 @@ impl Counter {
 impl std::fmt::Debug for Counter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge handle: a level that can move both ways (inbox depth,
+/// recorder buffer occupancy, batch fill). Cloning shares the cell.
+///
+/// Signed by design — a gauge is a *level*, not a rate, and transient
+/// levels (e.g. a backlog delta) can legitimately dip below zero.
+/// Unlike counters, a gauge's snapshot delta is the later level itself:
+/// subtracting two levels would yield a meaningless slope sample.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge (not in any registry), starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level up by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Move the level down by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
     }
 }
 
@@ -144,10 +194,11 @@ impl std::fmt::Debug for Histogram {
 #[derive(Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
 }
 
-/// A named collection of counters and histograms.
+/// A named collection of counters, gauges and histograms.
 ///
 /// The mutex guards only (de)registration and snapshotting; updates go
 /// through the handles and never touch it.
@@ -178,6 +229,23 @@ impl Registry {
         c
     }
 
+    /// The gauge named `name`, registering it at zero on first use.
+    /// The same name always yields handles on the same cell.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.lock();
+        if let Some(g) = inner.gauges.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        inner.gauges.insert(name.to_owned(), g.clone());
+        g
+    }
+
+    /// Current level of the gauge named `name` (zero if absent).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.lock().gauges.get(name).map(Gauge::get).unwrap_or(0)
+    }
+
     /// The histogram named `name`, registering it over `bounds` on first
     /// use (later calls reuse the original bounds).
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
@@ -195,11 +263,15 @@ impl Registry {
         self.lock().counters.get(name).map(Counter::get).unwrap_or(0)
     }
 
-    /// Zero every counter and histogram, keeping all handles valid.
+    /// Zero every counter, gauge and histogram, keeping all handles
+    /// valid.
     pub fn reset(&self) {
         let inner = self.lock();
         for c in inner.counters.values() {
             c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
         }
         for h in inner.histograms.values() {
             h.reset();
@@ -214,6 +286,11 @@ impl Registry {
                 .counters
                 .iter()
                 .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
                 .collect(),
             histograms: inner
                 .histograms
@@ -302,6 +379,8 @@ impl HistogramSnapshot {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -312,9 +391,15 @@ impl Snapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The gauge named `name` (zero if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// The change from `earlier` to `self`, per metric. Metrics absent
     /// from `earlier` count from zero; a reset in between saturates to
-    /// zero instead of underflowing.
+    /// zero instead of underflowing. Gauges are *levels*, so the delta
+    /// keeps the later level unchanged rather than subtracting.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             counters: self
@@ -327,6 +412,7 @@ impl Snapshot {
                     )
                 })
                 .collect(),
+            gauges: self.gauges.clone(),
             histograms: self
                 .histograms
                 .iter()
@@ -349,6 +435,15 @@ impl Snapshot {
         let mut out = String::with_capacity(256);
         out.push_str("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -477,11 +572,13 @@ mod tests {
         let r = Registry::new();
         r.counter("z").inc();
         r.counter("a").add(2);
+        r.gauge("depth").set(-3);
         r.histogram("lat", &[5, 50]).record(7);
         let j = r.snapshot().to_json();
         assert_eq!(
             j,
-            "{\"counters\":{\"a\":2,\"z\":1},\"histograms\":{\"lat\":{\"bounds\":[5,50],\
+            "{\"counters\":{\"a\":2,\"z\":1},\"gauges\":{\"depth\":-3},\
+             \"histograms\":{\"lat\":{\"bounds\":[5,50],\
              \"buckets\":[0,1,0],\"count\":1,\"p50\":50,\"p95\":50,\"p99\":50,\"sum\":7}}}"
         );
         // Stable across snapshots.
@@ -529,6 +626,43 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"p50\":10"), "{j}");
         assert!(!j.contains("p99"), "{j}");
+    }
+
+    #[test]
+    fn gauge_handles_share_the_cell_and_move_both_ways() {
+        let r = Registry::new();
+        let a = r.gauge("inbox.depth");
+        let b = r.gauge("inbox.depth");
+        a.set(10);
+        b.add(5);
+        a.sub(20);
+        assert_eq!(r.gauge_value("inbox.depth"), -5);
+        assert_eq!(b.get(), -5);
+        assert_eq!(r.gauge_value("absent"), 0);
+        assert_eq!(r.snapshot().gauge("inbox.depth"), -5);
+    }
+
+    #[test]
+    fn gauge_delta_keeps_the_later_level() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(100);
+        let before = r.snapshot();
+        g.set(40);
+        let after = r.snapshot();
+        // Levels are not rates: the delta reports where the gauge *is*.
+        assert_eq!(after.delta(&before).gauge("depth"), 40);
+    }
+
+    #[test]
+    fn reset_zeroes_gauges_but_keeps_handles() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(7);
+        r.reset();
+        assert_eq!(g.get(), 0);
+        g.add(3);
+        assert_eq!(r.gauge_value("depth"), 3);
     }
 
     #[test]

@@ -49,6 +49,36 @@ pub const HEADER_LEN: usize = 8 + 2 + 2 + 8;
 /// Per-segment framing overhead: length and CRC words.
 pub const SEGMENT_OVERHEAD: usize = 4 + 4;
 
+/// Encode a TWFR header: the exact bytes [`FlightRecorder::create`]
+/// writes at the start of a file, and the first bytes a live stream
+/// server sends to a subscriber — one format, two carriers.
+pub fn encode_header(pid: ProcessId, team: usize, epsilon: Duration) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[..8].copy_from_slice(FILE_MAGIC);
+    out[8..10].copy_from_slice(&pid.0.to_le_bytes());
+    out[10..12].copy_from_slice(&(team.min(u16::MAX as usize) as u16).to_le_bytes());
+    out[12..20].copy_from_slice(&epsilon.as_micros().to_le_bytes());
+    out
+}
+
+/// Encode `events` as one TWFR segment (`len · crc32 · payload` with
+/// the payload a concatenation of trace-event wire frames). Returns an
+/// empty vector for an empty slice — the format has no empty segments.
+pub fn encode_segment(events: &[TraceEvent]) -> Vec<u8> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let mut payload = BytesMut::with_capacity(events.len() * 32);
+    for ev in events {
+        ev.encode(&mut payload);
+    }
+    let mut out = Vec::with_capacity(SEGMENT_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
 /// CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected).
 pub fn crc32(bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
@@ -137,10 +167,7 @@ impl FlightRecorder {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
         let mut writer = BufWriter::new(file);
-        writer.write_all(FILE_MAGIC)?;
-        writer.write_all(&(cfg.pid.0).to_le_bytes())?;
-        writer.write_all(&(cfg.team.min(u16::MAX as usize) as u16).to_le_bytes())?;
-        writer.write_all(&cfg.epsilon.as_micros().to_le_bytes())?;
+        writer.write_all(&encode_header(cfg.pid, cfg.team, cfg.epsilon))?;
         writer.flush()?;
         Ok(FlightRecorder {
             cfg,
@@ -174,16 +201,10 @@ impl FlightRecorder {
             inner.buf.clear();
             return;
         }
-        let mut payload = BytesMut::with_capacity(inner.buf.len() * 32);
-        for ev in &inner.buf {
-            ev.encode(&mut payload);
-        }
-        let crc = crc32(&payload);
+        let segment = encode_segment(&inner.buf);
         let write = (|| -> std::io::Result<()> {
             let w = &mut inner.writer;
-            w.write_all(&(payload.len() as u32).to_le_bytes())?;
-            w.write_all(&crc.to_le_bytes())?;
-            w.write_all(&payload)?;
+            w.write_all(&segment)?;
             w.flush()
         })();
         match write {
@@ -208,6 +229,12 @@ impl FlightRecorder {
     /// Events persisted to disk so far (excludes the in-memory buffer).
     pub fn spilled_events(&self) -> u64 {
         self.lock().spilled_events
+    }
+
+    /// Events currently buffered in memory, waiting for the next spill
+    /// (the occupancy the runtime exports as a gauge).
+    pub fn buffered(&self) -> usize {
+        self.lock().buf.len()
     }
 
     /// Segments written so far.

@@ -17,6 +17,14 @@
 //! try to resynchronize past damage: frame lengths are not
 //! self-delimiting under corruption, so anything after the first bad
 //! segment is untrusted by design.
+//!
+//! The decoding core is the incremental [`StreamReader`]: feed it byte
+//! chunks in any sizes and it yields events as segments complete. The
+//! file loader is one `feed` of the whole file followed by [`finish`]
+//! ([`StreamReader::finish`]); the live tailer feeds TCP reads as they
+//! arrive. Both therefore share one reader and one torn-stream
+//! contract — a recording on disk and a trace stream on the wire are
+//! the same TWFR bytes, damaged the same ways.
 
 // tw-lint: allow-file(actor-io) -- the recording loader is the read side of the
 // flight recorder's file format; it runs in analyzers and tests, never inside a
@@ -95,6 +103,151 @@ impl From<std::io::Error> for LoadError {
     }
 }
 
+/// The TWFR stream header: who recorded, at what team size, under what
+/// clock-sync bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// The emitting member's process id.
+    pub pid: ProcessId,
+    /// Team size N at stream start (0 if unknown).
+    pub team: usize,
+    /// The clock-sync deviation bound ε.
+    pub epsilon: Duration,
+}
+
+/// Incremental TWFR decoder — the one reader behind both the file
+/// loader ([`Recording::parse`]) and the live tailer.
+///
+/// Feed it bytes in whatever chunks the carrier delivers; complete
+/// segments decode immediately, partial ones wait for more input. Damage
+/// semantics match the file loader exactly: a CRC or decode failure is
+/// recorded ([`StreamReader::finish`]) and everything after it is
+/// discarded (no resync); an incomplete tail only becomes
+/// [`Damage::TruncatedSegment`] when the caller declares the stream over
+/// by calling `finish` — mid-stream, a partial segment is just bytes
+/// that have not arrived yet.
+#[derive(Debug, Default)]
+pub struct StreamReader {
+    buf: Vec<u8>,
+    header: Option<StreamHeader>,
+    intact_segments: u64,
+    damage: Option<Damage>,
+    /// Set once the header failed to parse; every later feed re-fails.
+    dead: bool,
+}
+
+impl StreamReader {
+    /// A reader expecting a TWFR header first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stream header, once its 20 bytes have arrived.
+    pub fn header(&self) -> Option<&StreamHeader> {
+        self.header.as_ref()
+    }
+
+    /// Segments decoded completely so far.
+    pub fn intact_segments(&self) -> u64 {
+        self.intact_segments
+    }
+
+    /// The damage that stopped decoding, if any has been detected yet.
+    /// Truncation is only ever reported by [`StreamReader::finish`].
+    pub fn damage(&self) -> Option<&Damage> {
+        self.damage.as_ref()
+    }
+
+    /// Append `bytes` and decode every segment that is now complete,
+    /// returning its events in write order. After detected damage the
+    /// input is discarded (untrusted by design) and the result is
+    /// empty. The only hard error is a malformed header.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TraceEvent>, LoadError> {
+        if self.dead {
+            return Err(LoadError::BadHeader(
+                "stream already failed header validation".into(),
+            ));
+        }
+        if self.damage.is_some() {
+            return Ok(Vec::new());
+        }
+        self.buf.extend_from_slice(bytes);
+
+        if self.header.is_none() {
+            if self.buf.len() < HEADER_LEN {
+                return Ok(Vec::new());
+            }
+            if &self.buf[..8] != FILE_MAGIC {
+                self.dead = true;
+                return Err(LoadError::BadHeader(
+                    "missing TWFR0001 magic — not a flight recording".into(),
+                ));
+            }
+            let b = &self.buf;
+            self.header = Some(StreamHeader {
+                pid: ProcessId(u16::from_le_bytes([b[8], b[9]])),
+                team: u16::from_le_bytes([b[10], b[11]]) as usize,
+                epsilon: Duration::from_micros(i64::from_le_bytes(
+                    b[12..20].try_into().expect("8 header bytes"),
+                )),
+            });
+            self.buf.drain(..HEADER_LEN);
+        }
+
+        let mut events = Vec::new();
+        let mut off = 0usize;
+        while self.buf.len() - off >= SEGMENT_OVERHEAD {
+            let len = u32::from_le_bytes(
+                self.buf[off..off + 4].try_into().expect("4 bytes"),
+            ) as usize;
+            let crc = u32::from_le_bytes(
+                self.buf[off + 4..off + 8].try_into().expect("4 bytes"),
+            );
+            let start = off + SEGMENT_OVERHEAD;
+            if self.buf.len() - start < len {
+                break; // partial segment — wait for more bytes
+            }
+            let index = self.intact_segments;
+            let payload = &self.buf[start..start + len];
+            if crc32(payload) != crc {
+                self.damage = Some(Damage::CorruptSegment { index });
+                break;
+            }
+            match decode_payload(payload) {
+                Some(mut evs) => events.append(&mut evs),
+                None => {
+                    self.damage = Some(Damage::UndecodableSegment { index });
+                    break;
+                }
+            }
+            self.intact_segments += 1;
+            off = start + len;
+        }
+        if self.damage.is_some() {
+            self.buf.clear(); // everything past damage is untrusted
+        } else {
+            self.buf.drain(..off);
+        }
+        Ok(events)
+    }
+
+    /// Declare the stream over (EOF, connection drop) and report how it
+    /// ended: previously detected damage, a truncated tail if any bytes
+    /// are still pending (including an incomplete header), or `None`
+    /// for a clean end on a segment boundary.
+    pub fn finish(&self) -> Option<Damage> {
+        if let Some(d) = &self.damage {
+            return Some(d.clone());
+        }
+        if !self.buf.is_empty() {
+            return Some(Damage::TruncatedSegment {
+                index: self.intact_segments,
+            });
+        }
+        None
+    }
+}
+
 /// One node's recording, loaded back into memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recording {
@@ -120,65 +273,28 @@ impl Recording {
         Recording::parse(&bytes)
     }
 
-    /// Parse recording bytes (see [`Recording::load`]).
+    /// Parse recording bytes (see [`Recording::load`]). One `feed` of
+    /// the whole file into the shared [`StreamReader`], then `finish` —
+    /// so files and live streams cannot drift apart in how they decode.
     pub fn parse(bytes: &[u8]) -> Result<Recording, LoadError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(LoadError::BadHeader(format!(
-                "{} bytes is shorter than the {HEADER_LEN}-byte header",
-                bytes.len()
-            )));
-        }
-        if &bytes[..8] != FILE_MAGIC {
-            return Err(LoadError::BadHeader(
-                "missing TWFR0001 magic — not a flight recording".into(),
-            ));
-        }
-        let pid = ProcessId(u16::from_le_bytes([bytes[8], bytes[9]]));
-        let team = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
-        let epsilon = Duration::from_micros(i64::from_le_bytes(
-            bytes[12..20].try_into().expect("8 header bytes"),
-        ));
-
-        let mut events = Vec::new();
-        let mut intact_segments = 0u64;
-        let mut damage = None;
-        let mut off = HEADER_LEN;
-        while off < bytes.len() {
-            let index = intact_segments;
-            if bytes.len() - off < SEGMENT_OVERHEAD {
-                damage = Some(Damage::TruncatedSegment { index });
-                break;
+        let mut reader = StreamReader::new();
+        let events = reader.feed(bytes)?;
+        let header = match reader.header() {
+            Some(h) => *h,
+            None => {
+                return Err(LoadError::BadHeader(format!(
+                    "{} bytes is shorter than the {HEADER_LEN}-byte header",
+                    bytes.len()
+                )))
             }
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
-            let start = off + SEGMENT_OVERHEAD;
-            if bytes.len() - start < len {
-                damage = Some(Damage::TruncatedSegment { index });
-                break;
-            }
-            let payload = &bytes[start..start + len];
-            if crc32(payload) != crc {
-                damage = Some(Damage::CorruptSegment { index });
-                break;
-            }
-            match decode_payload(payload) {
-                Some(mut evs) => events.append(&mut evs),
-                None => {
-                    damage = Some(Damage::UndecodableSegment { index });
-                    break;
-                }
-            }
-            intact_segments += 1;
-            off = start + len;
-        }
-
+        };
         Ok(Recording {
-            pid,
-            team,
-            epsilon,
+            pid: header.pid,
+            team: header.team,
+            epsilon: header.epsilon,
             events,
-            intact_segments,
-            damage,
+            intact_segments: reader.intact_segments(),
+            damage: reader.finish(),
         })
     }
 }
@@ -273,6 +389,97 @@ mod tests {
         assert_eq!(r.intact_segments, 1);
         assert_eq!(r.events, (0..2).map(ev).collect::<Vec<_>>());
         assert!(matches!(r.damage, Some(Damage::CorruptSegment { index: 1 })));
+    }
+
+    #[test]
+    fn stream_reader_and_file_loader_agree_byte_for_byte() {
+        // The shared-framing proof: the same recorder-written bytes,
+        // decoded (a) in one shot by the file loader and (b) dribbled
+        // into the incremental reader in awkward chunk sizes, must
+        // yield identical headers, events and damage verdicts.
+        let bytes = written(9, 2, "shared.twrec");
+        let whole = Recording::parse(&bytes).unwrap();
+
+        for chunk in [1usize, 3, 7, 64, bytes.len()] {
+            let mut r = StreamReader::new();
+            let mut events = Vec::new();
+            for part in bytes.chunks(chunk) {
+                events.extend(r.feed(part).unwrap());
+            }
+            let h = *r.header().expect("header after full feed");
+            assert_eq!(h.pid, whole.pid);
+            assert_eq!(h.team, whole.team);
+            assert_eq!(h.epsilon, whole.epsilon);
+            assert_eq!(events, whole.events, "chunk size {chunk}");
+            assert_eq!(r.intact_segments(), whole.intact_segments);
+            assert_eq!(r.finish(), whole.damage);
+        }
+    }
+
+    #[test]
+    fn stream_reader_waits_for_partial_segments_mid_stream() {
+        let bytes = written(4, 2, "partial.twrec");
+        let mut r = StreamReader::new();
+        // Everything but the last 3 bytes: the final segment is
+        // incomplete, which mid-stream is not damage.
+        let cut = bytes.len() - 3;
+        let early = r.feed(&bytes[..cut]).unwrap();
+        assert_eq!(early, (0..2).map(ev).collect::<Vec<_>>());
+        assert!(r.damage().is_none());
+        // …but an EOF here is a torn tail.
+        assert_eq!(
+            r.finish(),
+            Some(Damage::TruncatedSegment { index: 1 })
+        );
+        // The missing bytes arrive after all: the segment completes and
+        // the same reader finishes clean.
+        let late = r.feed(&bytes[cut..]).unwrap();
+        assert_eq!(late, (2..4).map(ev).collect::<Vec<_>>());
+        assert_eq!(r.finish(), None);
+    }
+
+    #[test]
+    fn stream_reader_discards_everything_after_damage() {
+        let mut bytes = written(6, 2, "streamcorrupt.twrec");
+        let seg0_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+        let seg1_payload_start = 20 + 8 + seg0_len + 8;
+        bytes[seg1_payload_start] ^= 0xff;
+        let mut r = StreamReader::new();
+        let events = r.feed(&bytes).unwrap();
+        assert_eq!(events, (0..2).map(ev).collect::<Vec<_>>());
+        assert_eq!(r.damage(), Some(&Damage::CorruptSegment { index: 1 }));
+        // Later feeds are swallowed: no resync past damage.
+        let more = written(2, 2, "streamcorrupt2.twrec");
+        assert!(r.feed(&more[20..]).unwrap().is_empty());
+        assert_eq!(
+            r.finish(),
+            Some(Damage::CorruptSegment { index: 1 })
+        );
+    }
+
+    #[test]
+    fn stream_reader_rejects_bad_magic_permanently() {
+        let mut r = StreamReader::new();
+        // Header split across feeds: no verdict until 20 bytes exist.
+        assert!(r.feed(b"TWFR").unwrap().is_empty());
+        assert!(r.header().is_none());
+        assert!(matches!(
+            r.feed(b"XXXXxxxxxxxxxxxxxxxx"),
+            Err(LoadError::BadHeader(_))
+        ));
+        assert!(matches!(r.feed(b""), Err(LoadError::BadHeader(_))));
+    }
+
+    #[test]
+    fn stream_reader_incomplete_header_is_truncation_at_finish() {
+        let mut r = StreamReader::new();
+        assert!(r.feed(b"TWFR00").unwrap().is_empty());
+        assert_eq!(
+            r.finish(),
+            Some(Damage::TruncatedSegment { index: 0 })
+        );
+        // An empty stream, though, ends clean.
+        assert_eq!(StreamReader::new().finish(), None);
     }
 
     #[test]

@@ -24,13 +24,16 @@
 use crate::fault::{ChaosNet, ChaosRng, FaultTransport, LinkPlan};
 use crate::metrics::NodeMetrics;
 use crate::node::{
-    spawn_node, DeliveryHook, ExecutorKind, Node, RecorderSetup, SpawnArgs, INBOX_CAPACITY,
+    spawn_node, DeliveryHook, ExecutorKind, Node, OpsSetup, OpsWiring, RecorderSetup, SpawnArgs,
+    INBOX_CAPACITY,
 };
 use crate::transport::{Incoming, InboxSender, node_inbox, Transport};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use timewheel::{Config, Member};
-use tw_obs::{FaultKind, FlightRecorder, RecorderConfig, TeeSink, TraceEvent, TraceSink, Tracer};
+use tw_obs::{
+    FaultKind, FlightRecorder, RecorderConfig, StreamSink, TeeSink, TraceEvent, TraceSink, Tracer,
+};
 use tw_proto::{Incarnation, Msg, ProcessId};
 
 /// A switch any executor thread checks before dispatching: while
@@ -444,12 +447,28 @@ pub struct ChaosCluster {
     recorders: Vec<Option<Arc<FlightRecorder>>>,
     nodes: Vec<Option<Node>>,
     lives: Vec<u32>,
+    ops: Option<OpsSetup>,
 }
 
 impl ChaosCluster {
     /// Spawn an untraced chaos cluster of `cfg.n` members.
     pub fn spawn(kind: ExecutorKind, cfg: Config, seed: u64) -> ChaosCluster {
-        Self::spawn_inner(kind, cfg, seed, None, None)
+        Self::spawn_inner(kind, cfg, seed, None, None, None)
+    }
+
+    /// Spawn a chaos cluster with a live ops endpoint per node (see
+    /// [`crate::spawn_cluster_observed`]): scrape `/metrics`, poll
+    /// `/healthz`, tail `/trace` while the fault fabric does its worst.
+    /// Restarted incarnations re-bind their rank's port; if the old
+    /// port is still in TIME_WAIT the node falls back to an ephemeral
+    /// one (rediscover it through [`ChaosCluster::ops_addr`]).
+    pub fn spawn_observed(
+        kind: ExecutorKind,
+        cfg: Config,
+        seed: u64,
+        ops: &OpsSetup,
+    ) -> ChaosCluster {
+        Self::spawn_inner(kind, cfg, seed, None, None, Some(ops.clone()))
     }
 
     /// Spawn a chaos cluster with a flight recorder per node (plus an
@@ -462,6 +481,21 @@ impl ChaosCluster {
         setup: &RecorderSetup,
         sink: Option<Arc<dyn TraceSink>>,
     ) -> std::io::Result<ChaosCluster> {
+        Self::spawn_recorded_observed(kind, cfg, seed, setup, sink, None)
+    }
+
+    /// [`ChaosCluster::spawn_recorded`] plus an optional live ops
+    /// endpoint per node — the full telemetry plane under fault
+    /// injection: black-box recordings on disk, live scrape and trace
+    /// streaming on localhost TCP.
+    pub fn spawn_recorded_observed(
+        kind: ExecutorKind,
+        cfg: Config,
+        seed: u64,
+        setup: &RecorderSetup,
+        sink: Option<Arc<dyn TraceSink>>,
+        ops: Option<&OpsSetup>,
+    ) -> std::io::Result<ChaosCluster> {
         std::fs::create_dir_all(&setup.dir)?;
         let recorders = (0..cfg.n)
             .map(|i| {
@@ -470,7 +504,14 @@ impl ChaosCluster {
                 FlightRecorder::create(setup.path_for(pid), rc).map(Arc::new)
             })
             .collect::<std::io::Result<Vec<_>>>()?;
-        Ok(Self::spawn_inner(kind, cfg, seed, Some(recorders), sink))
+        Ok(Self::spawn_inner(
+            kind,
+            cfg,
+            seed,
+            Some(recorders),
+            sink,
+            ops.cloned(),
+        ))
     }
 
     fn spawn_inner(
@@ -479,6 +520,7 @@ impl ChaosCluster {
         seed: u64,
         recorders: Option<Vec<Arc<FlightRecorder>>>,
         sink: Option<Arc<dyn TraceSink>>,
+        ops: Option<OpsSetup>,
     ) -> ChaosCluster {
         let n = cfg.n;
         let net = ChaosNet::new(seed);
@@ -522,6 +564,7 @@ impl ChaosCluster {
             recorders: recs,
             nodes: (0..n).map(|_| None).collect(),
             lives: vec![0; n],
+            ops,
         };
         for rank in 0..n {
             cluster.start_node(rank);
@@ -533,28 +576,74 @@ impl ChaosCluster {
     /// `lives[rank]`, plugging a fresh bounded inbox into the mesh.
     fn start_node(&mut self, rank: usize) {
         let pid = ProcessId(rank as u16);
-        let metrics = NodeMetrics::new();
-        let (tx, rx) = node_inbox(INBOX_CAPACITY, Some(metrics.inbox_dropped()));
-        let mut member = Member::new_unchecked(pid, self.cfg);
-        member.force_incarnation(Incarnation(self.lives[rank]));
-        if let Some(s) = &self.sinks[rank] {
-            member.set_tracer(Tracer::new(s.clone()));
+        // A restarted incarnation re-binds its rank's ops port; if the
+        // old listener's accepted sockets still hold it (TIME_WAIT),
+        // fall back to an ephemeral port rather than failing the
+        // restart — the harness rediscovers addresses via ops_addr().
+        let attempts: Vec<Option<String>> = match &self.ops {
+            Some(o) => vec![Some(o.addr_for(rank)), Some("127.0.0.1:0".to_string())],
+            None => vec![None],
+        };
+        let last = attempts.len() - 1;
+        for (attempt, addr) in attempts.into_iter().enumerate() {
+            let metrics = NodeMetrics::new();
+            let (tx, rx) = node_inbox(INBOX_CAPACITY, Some(metrics.inbox_dropped()));
+            let mut member = Member::new_unchecked(pid, self.cfg);
+            member.force_incarnation(Incarnation(self.lives[rank]));
+            let stream = self.ops.as_ref().map(|o| {
+                Arc::new(StreamSink::new(
+                    pid,
+                    self.cfg.n,
+                    self.cfg.epsilon,
+                    o.stream_capacity,
+                ))
+            });
+            let tracer_sink: Option<Arc<dyn TraceSink>> = match (&self.sinks[rank], &stream) {
+                (Some(s), Some(st)) => Some(Arc::new(TeeSink::new(vec![
+                    s.clone(),
+                    st.clone() as Arc<dyn TraceSink>,
+                ]))),
+                (Some(s), None) => Some(s.clone()),
+                (None, Some(st)) => Some(st.clone() as Arc<dyn TraceSink>),
+                (None, None) => None,
+            };
+            if let Some(s) = tracer_sink {
+                member.set_tracer(Tracer::new(s));
+            }
+            self.mesh.set_slot(rank, Some(tx));
+            let hook: Option<DeliveryHook> = None;
+            match spawn_node(SpawnArgs {
+                kind: self.kind,
+                member,
+                inbox: rx,
+                transport: self.wrapped[rank].clone() as Arc<dyn Transport>,
+                udp: None,
+                extra_handles: Vec::new(),
+                hook,
+                recorder: self.recorders[rank].clone(),
+                metrics,
+                clock: Arc::new(self.net.clock()),
+                ops: addr.map(|a| OpsWiring {
+                    addr: a,
+                    stream: stream.clone(),
+                }),
+            }) {
+                Ok(node) => {
+                    self.nodes[rank] = Some(node);
+                    return;
+                }
+                Err(e) if attempt < last => {
+                    let _ = e; // retry on the ephemeral address
+                }
+                Err(e) => panic!("ops endpoint bind failed for node {rank}: {e}"),
+            }
         }
-        self.mesh.set_slot(rank, Some(tx));
-        let hook: Option<DeliveryHook> = None;
-        let node = spawn_node(SpawnArgs {
-            kind: self.kind,
-            member,
-            inbox: rx,
-            transport: self.wrapped[rank].clone() as Arc<dyn Transport>,
-            udp: None,
-            extra_handles: Vec::new(),
-            hook,
-            recorder: self.recorders[rank].clone(),
-            metrics,
-            clock: Arc::new(self.net.clock()),
-        });
-        self.nodes[rank] = Some(node);
+    }
+
+    /// The ops endpoint address of the node at `rank` (`None` while
+    /// crashed or when the cluster was spawned without ops).
+    pub fn ops_addr(&self, rank: usize) -> Option<std::net::SocketAddr> {
+        self.node(rank).and_then(|n| n.ops_addr())
     }
 
     /// The shared fault fabric (plans, cuts, counters, clock).

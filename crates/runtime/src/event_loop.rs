@@ -45,7 +45,10 @@ pub(crate) fn run(parts: NodeParts) {
     // Held on this stack so the flight recorder's tail is spilled even
     // if a handler panics and unwinds this thread (the Node's own Arc
     // keeps the recorder alive, so Drop alone would not fire here).
+    let recorder_watch = recorder.clone();
     let _recorder_guard = tw_obs::FlushGuard::new(recorder);
+    let inbox_depth = metrics.inbox_depth();
+    let recorder_buffered = metrics.recorder_buffered();
     let pid = member.pid();
     let tick = member.config().tick;
     let resync = member.config().clock.resync_interval;
@@ -146,6 +149,7 @@ pub(crate) fn run(parts: NodeParts) {
 
         let now = clock.now_hw();
         if now >= next_tick {
+            metrics.on_tick_lag((now - next_tick).as_micros().max(0) as u64);
             let started = Instant::now();
             let actions = member.on_tick(now);
             let (t, snap) = apply_actions(
@@ -161,6 +165,7 @@ pub(crate) fn run(parts: NodeParts) {
             next_tick = now + tick;
         }
         if now >= next_clock {
+            metrics.on_deadline_overrun((now - next_clock).as_micros().max(0) as u64);
             let started = Instant::now();
             let actions = member.on_clock_tick(now);
             let (t, _) = apply_actions(
@@ -171,6 +176,13 @@ pub(crate) fn run(parts: NodeParts) {
                 Some(t) => next_clock = t,
                 None => next_clock = now + resync,
             }
+        }
+
+        // Standing-backlog gauges: sampled once per loop iteration, not
+        // per dispatch — gauges report levels, so the latest look wins.
+        inbox_depth.set(inbox.len() as i64);
+        if let Some(r) = &recorder_watch {
+            recorder_buffered.set(r.buffered() as i64);
         }
 
         // Publish the member's locally observed status (§6

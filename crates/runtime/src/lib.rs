@@ -61,9 +61,9 @@ pub use fault::{ChaosNet, ChaosRng, FaultTransport, LinkPlan};
 pub use metrics::NodeMetrics;
 #[cfg(not(loom))]
 pub use node::{
-    spawn_cluster, spawn_cluster_recorded, spawn_cluster_recorded_traced, spawn_cluster_traced,
-    spawn_cluster_with_hooks, spawn_udp_cluster, AppEvent, DeliveryHook, ExecutorKind, Node,
-    NodeCommand, NodeOutput, RecorderSetup,
+    spawn_cluster, spawn_cluster_observed, spawn_cluster_recorded, spawn_cluster_recorded_traced,
+    spawn_cluster_traced, spawn_cluster_with_hooks, spawn_udp_cluster, spawn_udp_cluster_observed,
+    AppEvent, DeliveryHook, ExecutorKind, Node, NodeCommand, NodeOutput, OpsSetup, RecorderSetup,
 };
 #[cfg(not(loom))]
 pub use mmsg::BatchSocket;
@@ -79,8 +79,8 @@ pub mod prelude {
     pub use crate::fault::{ChaosNet, ChaosRng, FaultTransport, LinkPlan};
     pub use crate::metrics::NodeMetrics;
     pub use crate::node::{
-        spawn_cluster, spawn_cluster_recorded, spawn_cluster_traced, spawn_udp_cluster,
-        ExecutorKind, Node, RecorderSetup,
+        spawn_cluster, spawn_cluster_observed, spawn_cluster_recorded, spawn_cluster_traced,
+        spawn_udp_cluster, ExecutorKind, Node, OpsSetup, RecorderSetup,
     };
     pub use crate::transport::{MemTransport, OutBatch, Transport, UdpTransport, WireStats};
 }

@@ -18,7 +18,10 @@ use std::sync::Arc;
 use timewheel::events::LeaveReason;
 use timewheel::member::broadcast::ProposeError;
 use timewheel::{Config, Delivery, Member};
-use tw_obs::{FlightRecorder, RecorderConfig, Snapshot, TeeSink, TraceSink, Tracer};
+use tw_obs::{
+    FlightRecorder, OpsServer, OpsSources, RecorderConfig, Snapshot, StreamSink, TeeSink,
+    TraceSink, Tracer,
+};
 use tw_proto::{ProcessId, Semantics, View};
 
 /// Commands a client can send to its node.
@@ -73,6 +76,8 @@ pub struct Node {
     recorder: Option<Arc<FlightRecorder>>,
     gate: Arc<PauseGate>,
     status: Arc<StatusCell>,
+    ops: Option<OpsServer>,
+    stream: Option<Arc<StreamSink>>,
 }
 
 impl Node {
@@ -129,6 +134,18 @@ impl Node {
         self.status.read()
     }
 
+    /// The address of this node's ops endpoint (`/metrics`, `/status`,
+    /// `/healthz`, `/trace`), when one was attached at spawn.
+    pub fn ops_addr(&self) -> Option<std::net::SocketAddr> {
+        self.ops.as_ref().map(|s| s.addr())
+    }
+
+    /// This node's live trace stream, when an ops endpoint was attached
+    /// at spawn (subscribers get TWFR-framed segments as they flush).
+    pub fn trace_stream(&self) -> Option<&Arc<StreamSink>> {
+        self.stream.as_ref()
+    }
+
     /// Wire-level counters of this node's UDP transport — syscalls,
     /// datagrams and messages sent/received (`None` on channel-mesh
     /// clusters). The quantity behind the syscalls-per-decision claim.
@@ -147,6 +164,11 @@ impl Node {
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Ship whatever the live stream still buffers so tailers see
+        // the tail before the ops server (dropped with self) goes away.
+        if let Some(s) = &self.stream {
+            s.flush();
         }
     }
 
@@ -217,6 +239,14 @@ pub(crate) struct NodeParts {
     pub status: Arc<StatusCell>,
 }
 
+/// Per-node ops wiring resolved by the cluster spawner: where the ops
+/// server should listen and the live stream (already teed into the
+/// member's tracer) it should serve at `/trace`.
+pub(crate) struct OpsWiring {
+    pub addr: String,
+    pub stream: Option<Arc<StreamSink>>,
+}
+
 /// Everything [`spawn_node`] needs to host one member.
 pub(crate) struct SpawnArgs {
     pub kind: ExecutorKind,
@@ -229,9 +259,20 @@ pub(crate) struct SpawnArgs {
     pub recorder: Option<Arc<FlightRecorder>>,
     pub metrics: Arc<NodeMetrics>,
     pub clock: Arc<dyn RuntimeClock + Sync>,
+    pub ops: Option<OpsWiring>,
 }
 
-pub(crate) fn spawn_node(args: SpawnArgs) -> Node {
+/// Render the `/status` payload from the executor-published
+/// [`NodeStatus`] — hand-built JSON, same discipline as
+/// [`tw_obs::metrics::Snapshot::to_json`] (no serde dependency).
+fn status_json(pid: ProcessId, s: NodeStatus) -> String {
+    format!(
+        "{{\"pid\":{},\"up_to_date\":{},\"view_len\":{},\"view_seq\":{}}}",
+        pid.0, s.up_to_date, s.view_len, s.view_seq
+    )
+}
+
+pub(crate) fn spawn_node(args: SpawnArgs) -> std::io::Result<Node> {
     let SpawnArgs {
         kind,
         member,
@@ -243,12 +284,33 @@ pub(crate) fn spawn_node(args: SpawnArgs) -> Node {
         recorder,
         metrics,
         clock,
+        ops,
     } = args;
     let pid = member.pid();
     let (cmd_tx, cmd_rx) = unbounded();
     let (out_tx, out_rx) = unbounded();
     let gate = Arc::new(PauseGate::new());
     let status = Arc::new(StatusCell::new());
+    // Bind the ops endpoint before the member threads start so a port
+    // clash surfaces as an error here, not a half-observable node.
+    let (ops_server, stream) = match ops {
+        Some(wiring) => {
+            let status_for_json = status.clone();
+            let status_for_health = status.clone();
+            let sources = OpsSources {
+                registry: metrics.shared_registry(),
+                labels: vec![("pid".to_string(), pid.0.to_string())],
+                status_json: Arc::new(move || status_json(pid, status_for_json.read())),
+                // Health is the §6 fail-awareness verdict: the member's
+                // own judgement of whether it is up to date, not mere
+                // process liveness (liveness is the TCP connect itself).
+                healthy: Arc::new(move || status_for_health.read().up_to_date),
+            };
+            let server = OpsServer::bind(wiring.addr.as_str(), sources, wiring.stream.clone())?;
+            (Some(server), wiring.stream)
+        }
+        None => (None, None),
+    };
     let parts = NodeParts {
         member,
         inbox,
@@ -270,7 +332,7 @@ pub(crate) fn spawn_node(args: SpawnArgs) -> Node {
         })
         .expect("spawn node thread");
     extra_handles.push(main);
-    Node {
+    Ok(Node {
         pid,
         cmds: cmd_tx,
         outputs: out_rx,
@@ -280,6 +342,56 @@ pub(crate) fn spawn_node(args: SpawnArgs) -> Node {
         recorder,
         gate,
         status,
+        ops: ops_server,
+        stream,
+    })
+}
+
+/// Where a cluster's per-node ops endpoints listen and how their live
+/// trace streams are buffered.
+#[derive(Debug, Clone)]
+pub struct OpsSetup {
+    /// Base TCP port on localhost: the node of rank `r` listens on
+    /// `base_port + r`. `0` gives every node an ephemeral port —
+    /// discover them through [`Node::ops_addr`].
+    pub base_port: u16,
+    /// Events buffered per node before the live stream ships a
+    /// TWFR-framed segment to its subscribers (view installations force
+    /// a flush, mirroring the flight recorder).
+    pub stream_capacity: usize,
+}
+
+impl OpsSetup {
+    /// Ops endpoints on ephemeral ports with the default stream
+    /// batching (256 events per segment).
+    pub fn ephemeral() -> Self {
+        OpsSetup {
+            base_port: 0,
+            stream_capacity: 256,
+        }
+    }
+
+    /// Ops endpoints on the fixed ports `base_port + rank`.
+    pub fn at(base_port: u16) -> Self {
+        OpsSetup {
+            base_port,
+            stream_capacity: 256,
+        }
+    }
+
+    /// Override the live stream's per-segment event budget.
+    pub fn stream_capacity(mut self, capacity: usize) -> Self {
+        self.stream_capacity = capacity.max(1);
+        self
+    }
+
+    /// The listen address for the node of rank `rank`.
+    pub(crate) fn addr_for(&self, rank: usize) -> String {
+        if self.base_port == 0 {
+            "127.0.0.1:0".to_string()
+        } else {
+            format!("127.0.0.1:{}", self.base_port + rank as u16)
+        }
     }
 }
 
@@ -295,7 +407,8 @@ pub fn spawn_cluster_with_hooks(
     cfg: Config,
     make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
 ) -> Vec<Node> {
-    spawn_cluster_inner(kind, cfg, make_hook, None, None)
+    spawn_cluster_inner(kind, cfg, make_hook, None, None, None)
+        .expect("no ops endpoints requested, spawn cannot fail")
 }
 
 /// Start an in-process team with every member's trace stream attached to
@@ -308,7 +421,21 @@ pub fn spawn_cluster_traced(
     cfg: Config,
     sink: Arc<dyn TraceSink>,
 ) -> Vec<Node> {
-    spawn_cluster_inner(kind, cfg, |_| None, Some(sink), None)
+    spawn_cluster_inner(kind, cfg, |_| None, Some(sink), None, None)
+        .expect("no ops endpoints requested, spawn cannot fail")
+}
+
+/// Start an in-process team with a live ops endpoint per node: each
+/// member serves `/metrics` (Prometheus text), `/status` (JSON),
+/// `/healthz` (the member's own §6 fail-awareness verdict) and `/trace`
+/// (a TWFR-framed live stream of its trace events) on localhost TCP.
+/// `tw-top` and any Prometheus scraper attach to these addresses.
+pub fn spawn_cluster_observed(
+    kind: ExecutorKind,
+    cfg: Config,
+    ops: &OpsSetup,
+) -> std::io::Result<Vec<Node>> {
+    spawn_cluster_inner(kind, cfg, |_| None, None, None, Some(ops))
 }
 
 /// Where and how a cluster's flight recorders write their per-node
@@ -376,13 +503,31 @@ pub fn spawn_cluster_recorded_traced(
             FlightRecorder::create(setup.path_for(pid), rc).map(Arc::new)
         })
         .collect::<std::io::Result<Vec<_>>>()?;
-    Ok(spawn_cluster_inner(
-        kind,
-        cfg,
-        |_| None,
-        sink,
-        Some(recorders),
-    ))
+    spawn_cluster_inner(kind, cfg, |_| None, sink, Some(recorders), None)
+}
+
+/// Combine a node's optional sinks (recorder, shared live sink, ops
+/// stream) into the single [`TraceSink`] its tracer writes to.
+fn combine_sinks(
+    recorder: &Option<Arc<FlightRecorder>>,
+    shared: &Option<Arc<dyn TraceSink>>,
+    stream: &Option<Arc<StreamSink>>,
+) -> Option<Arc<dyn TraceSink>> {
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some(r) = recorder {
+        sinks.push(r.clone());
+    }
+    if let Some(s) = shared {
+        sinks.push(s.clone());
+    }
+    if let Some(s) = stream {
+        sinks.push(s.clone());
+    }
+    match sinks.len() {
+        0 => None,
+        1 => sinks.pop(),
+        _ => Some(Arc::new(TeeSink::new(sinks))),
+    }
 }
 
 fn spawn_cluster_inner(
@@ -391,7 +536,8 @@ fn spawn_cluster_inner(
     mut make_hook: impl FnMut(ProcessId) -> Option<DeliveryHook>,
     sink: Option<Arc<dyn TraceSink>>,
     recorders: Option<Vec<Arc<FlightRecorder>>>,
-) -> Vec<Node> {
+    ops: Option<&OpsSetup>,
+) -> std::io::Result<Vec<Node>> {
     let n = cfg.n;
     // Metrics exist before the inboxes so each bounded inbox can count
     // its shed datagrams into its node's `tw_inbox_dropped_total`.
@@ -411,16 +557,10 @@ fn spawn_cluster_inner(
             let pid = ProcessId(i as u16);
             let mut member = Member::new_unchecked(pid, cfg);
             let recorder = recorders.as_ref().map(|rs| rs[i].clone());
-            let node_sink: Option<Arc<dyn TraceSink>> = match (&sink, &recorder) {
-                (Some(s), Some(r)) => Some(Arc::new(TeeSink::new(vec![
-                    r.clone() as Arc<dyn TraceSink>,
-                    s.clone(),
-                ]))),
-                (Some(s), None) => Some(s.clone()),
-                (None, Some(r)) => Some(r.clone() as Arc<dyn TraceSink>),
-                (None, None) => None,
-            };
-            if let Some(s) = node_sink {
+            let stream = ops.map(|o| {
+                Arc::new(StreamSink::new(pid, cfg.n, cfg.epsilon, o.stream_capacity))
+            });
+            if let Some(s) = combine_sinks(&recorder, &sink, &stream) {
                 member.set_tracer(Tracer::new(s));
             }
             spawn_node(SpawnArgs {
@@ -434,6 +574,10 @@ fn spawn_cluster_inner(
                 recorder,
                 metrics: metrics[i].clone(),
                 clock: Arc::new(RealClock::new()),
+                ops: ops.map(|o| OpsWiring {
+                    addr: o.addr_for(i),
+                    stream: stream.clone(),
+                }),
             })
         })
         .collect()
@@ -442,6 +586,25 @@ fn spawn_cluster_inner(
 /// Start a team of `n` members over real localhost UDP sockets on
 /// ephemeral ports.
 pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec<Node>> {
+    spawn_udp_cluster_inner(kind, cfg, None)
+}
+
+/// [`spawn_udp_cluster`] plus a live ops endpoint per node (see
+/// [`spawn_cluster_observed`]): the closest thing to the deployed
+/// telemetry topology — real datagrams below, a real scrape plane above.
+pub fn spawn_udp_cluster_observed(
+    kind: ExecutorKind,
+    cfg: Config,
+    ops: &OpsSetup,
+) -> std::io::Result<Vec<Node>> {
+    spawn_udp_cluster_inner(kind, cfg, Some(ops))
+}
+
+fn spawn_udp_cluster_inner(
+    kind: ExecutorKind,
+    cfg: Config,
+    ops: Option<&OpsSetup>,
+) -> std::io::Result<Vec<Node>> {
     let n = cfg.n;
     // Reserve n ephemeral ports first.
     let sockets: Vec<std::net::UdpSocket> = (0..n)
@@ -462,9 +625,15 @@ pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec
         let pid = ProcessId(i as u16);
         let transport = UdpTransport::bind(pid, *addr, peers.clone())?;
         let metrics = NodeMetrics::new();
+        transport.set_batch_fill_gauge(metrics.batch_fill());
         let (inbox_tx, inbox_rx) = node_inbox(INBOX_CAPACITY, Some(metrics.inbox_dropped()));
         let rx_handle = transport.spawn_receiver(inbox_tx, Some(metrics.udp_recv_errors()));
-        let member = Member::new_unchecked(pid, cfg);
+        let mut member = Member::new_unchecked(pid, cfg);
+        let stream =
+            ops.map(|o| Arc::new(StreamSink::new(pid, cfg.n, cfg.epsilon, o.stream_capacity)));
+        if let Some(s) = combine_sinks(&None, &None, &stream) {
+            member.set_tracer(Tracer::new(s));
+        }
         nodes.push(spawn_node(SpawnArgs {
             kind,
             member,
@@ -476,7 +645,11 @@ pub fn spawn_udp_cluster(kind: ExecutorKind, cfg: Config) -> std::io::Result<Vec
             recorder: None,
             metrics,
             clock: Arc::new(RealClock::new()),
-        }));
+            ops: ops.map(|o| OpsWiring {
+                addr: o.addr_for(i),
+                stream: stream.clone(),
+            }),
+        })?);
     }
     Ok(nodes)
 }

@@ -31,6 +31,7 @@ pub(crate) fn run(parts: NodeParts) {
     // Held on the command-loop stack so the flight recorder's tail is
     // spilled even if this thread panics (the Node's Arc keeps the
     // recorder alive, so Drop alone would not fire here).
+    let recorder_watch = recorder.clone();
     let _recorder_guard = tw_obs::FlushGuard::new(recorder);
     let hook = Arc::new(Mutex::new(hook));
     let pid = member.pid();
@@ -125,9 +126,11 @@ pub(crate) fn run(parts: NodeParts) {
         }
         let stop = stop.clone();
         let gate = gate.clone();
+        let inbox_depth = metrics.inbox_depth();
         handles.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 gate.block_while_paused();
+                inbox_depth.set(inbox.len() as i64);
                 match inbox.recv_timeout(StdDuration::from_millis(20)) {
                     Ok(Incoming::Msg(from, msg)) => {
                         if let Some(tx) = kind_txs.get(&msg.kind()) {
@@ -164,13 +167,20 @@ pub(crate) fn run(parts: NodeParts) {
         let metrics = metrics.clone();
         let gate = gate.clone();
         let status = status.clone();
+        let recorder_watch = recorder_watch.clone();
+        let recorder_buffered = metrics.recorder_buffered();
         handles.push(std::thread::spawn(move || {
             let period = StdDuration::from_micros(tick.as_micros() as u64);
             let mut batch = OutBatch::new();
             while !stop.load(Ordering::Relaxed) {
                 gate.block_while_paused();
+                let before = clock.now_hw();
                 std::thread::sleep(period);
                 let now = clock.now_hw();
+                // How late the tick fired versus its intended deadline
+                // (sleep start + period): the scheduler latency this
+                // baseline pays per tick.
+                metrics.on_tick_lag((now - (before + tick)).as_micros().max(0) as u64);
                 let actions = member.lock().on_tick(now);
                 let (t, snap) = apply_actions(
                     pid,
@@ -187,6 +197,9 @@ pub(crate) fn run(parts: NodeParts) {
                 }
                 if let Some(s) = snap {
                     member.lock().set_app_snapshot(s);
+                }
+                if let Some(r) = &recorder_watch {
+                    recorder_buffered.set(r.buffered() as i64);
                 }
                 // Publish the member's locally observed status (§6
                 // fail-awareness) for harness-side checks.
@@ -219,6 +232,7 @@ pub(crate) fn run(parts: NodeParts) {
                 let now = clock.now_hw();
                 let due = next_clock.load(Ordering::Relaxed);
                 if now.0 >= due {
+                    metrics.on_deadline_overrun((now.0 - due).max(0) as u64);
                     let actions = member.lock().on_clock_tick(now);
                     let (t, _) = apply_actions(
                         pid,

@@ -30,8 +30,8 @@ use crate::mmsg::{BatchSocket, RecvSlot};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use tw_obs::Counter;
+use std::sync::{Arc, OnceLock};
+use tw_obs::{Counter, Gauge};
 use tw_proto::frame::{self, FrameBuilder};
 use tw_proto::{Msg, ProcessId};
 
@@ -251,6 +251,10 @@ pub struct UdpTransport {
     me: ProcessId,
     stop: AtomicBool,
     wire: WireCounters,
+    /// Optional `tw_mmsg_batch_fill` gauge: datagrams coalesced into the
+    /// most recent vectored submission (set once at node wiring time;
+    /// the hot path pays one pointer load plus an atomic store).
+    batch_fill: OnceLock<Gauge>,
 }
 
 impl UdpTransport {
@@ -271,12 +275,25 @@ impl UdpTransport {
             me,
             stop: AtomicBool::new(false),
             wire: WireCounters::default(),
+            batch_fill: OnceLock::new(),
         }))
     }
 
     /// Ask the receive loop to exit at its next poll.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Wire the `tw_mmsg_batch_fill` gauge: every vectored submission
+    /// records how many datagrams it coalesced. First caller wins.
+    pub fn set_batch_fill_gauge(&self, gauge: Gauge) {
+        let _ = self.batch_fill.set(gauge);
+    }
+
+    fn note_batch_fill(&self, datagrams: usize) {
+        if let Some(g) = self.batch_fill.get() {
+            g.set(datagrams as i64);
+        }
     }
 
     /// Current wire counters.
@@ -412,6 +429,7 @@ impl Transport for UdpTransport {
         }
         let syscalls = self.socket.send_batch(&items);
         self.note_sent(syscalls as u64, items.len() as u64, items.len() as u64);
+        self.note_batch_fill(items.len());
     }
 
     /// The coalesced hot path: one multi-frame datagram per destination
@@ -465,6 +483,7 @@ impl Transport for UdpTransport {
         if !items.is_empty() {
             let syscalls = self.socket.send_batch(&items);
             self.note_sent(syscalls as u64, items.len() as u64, msgs_encoded);
+            self.note_batch_fill(items.len());
         }
         batch.items.clear();
     }

@@ -57,6 +57,7 @@ copy_probe_bins() {
   mkdir -p "$build/probes/src/bin"
   cp -p "$repo/crates/bench/src/bin/exp_proto_codec.rs" "$build/probes/src/bin/exp_proto_codec.rs"
   cp -p "$repo/crates/bench/src/bin/exp_hotpath.rs" "$build/probes/src/bin/exp_hotpath.rs"
+  cp -p "$repo/crates/bench/src/bin/exp_obs_live.rs" "$build/probes/src/bin/exp_obs_live.rs"
 }
 copy_probe_bins
 copy_crate obs
@@ -210,6 +211,7 @@ edition = "2021"
 [dependencies]
 timewheel = { path = "../core" }
 tw-proto = { path = "../proto" }
+tw-obs = { path = "../obs" }
 tw-runtime = { path = "../runtime" }
 bytes = { path = "$stubs/bytes" }
 
@@ -220,6 +222,10 @@ path = "src/bin/exp_proto_codec.rs"
 [[bin]]
 name = "exp_hotpath"
 path = "src/bin/exp_hotpath.rs"
+
+[[bin]]
+name = "exp_obs_live"
+path = "src/bin/exp_obs_live.rs"
 EOF
 
 cat > "$build/Cargo.toml" <<EOF
@@ -234,14 +240,24 @@ cd "$build"
 export TW_XTASK_ROOT="$repo"
 cargo check --offline --workspace --all-targets
 
-# The real-time cluster suites (tw-runtime tests/cluster.rs, the tw-rsm
-# cluster tests) spawn actual node threads and wait on wall-clock
-# protocol deadlines. Under this container's single vCPU and the polling
-# `select!` stub they starve each other and never form a group, so they
-# are compile-checked above (--all-targets) but executed only by CI,
-# which has the real crossbeam and multi-core runners.
-rm -f runtime/tests/cluster.rs runtime/tests/chaos_cluster.rs
+# The real-time cluster suites (cluster.rs, chaos_cluster.rs,
+# ops_cluster.rs) spawn actual node threads and wait on wall-clock
+# protocol deadlines; they run in release mode below, mirroring CI, so
+# keep them out of this debug-mode workspace pass.
+rm -f runtime/tests/cluster.rs runtime/tests/chaos_cluster.rs runtime/tests/ops_cluster.rs
 cargo test --offline --workspace "$@" -- --skip "cluster::tests::"
+
+# Real-time cluster suites, release mode as on CI. These were
+# unrunnable offline while the `select!` stub slept between polls (on
+# one vCPU the coarse sleep timer stretched every message hop to
+# milliseconds and clusters never formed); the stub now blocks on the
+# hot channel, so groups form in milliseconds and the full suites pass
+# here.
+cp -p "$repo/crates/runtime/tests/cluster.rs" \
+      "$repo/crates/runtime/tests/chaos_cluster.rs" \
+      "$repo/crates/runtime/tests/ops_cluster.rs" runtime/tests/
+cargo test --offline --release -p tw-runtime \
+  --test cluster --test chaos_cluster --test ops_cluster
 
 # Concurrency static analysis over the real sources (TW_XTASK_ROOT above):
 # the lock-order, blocking-call and unsafe-surface rules must report the
@@ -269,9 +285,20 @@ fi
 # Perf-gate plumbing must work end to end offline: the pure-CPU codec
 # probe runs for real (tiny iteration count), its JSON feeds the gate,
 # and the gate's self-test proves it still trips on a doctored-slow
-# fixture. The cluster-based hot-path probe is compile-checked above
-# (it needs multi-core scheduling this container lacks).
+# fixture. The cluster probes (hot path, live-telemetry overhead) run
+# real clusters at a smoke-sized update count — their numbers are
+# meaningless on one vCPU, so they are tagged shadow-smoke and only
+# self-gated; the point is that flood, ops scrape, live tail and JSON
+# emission all work end to end.
 cargo run --offline -q -p tw-probes-shadow --bin exp_proto_codec -- --iters 256 --out /tmp/shadow-codec.json
+cargo run --offline -q --release -p tw-probes-shadow --bin exp_hotpath -- \
+  --updates 2000 --machine shadow-smoke --out /tmp/shadow-hotpath.json
+cargo run --offline -q --release -p tw-probes-shadow --bin exp_obs_live -- \
+  --updates 2000 --machine shadow-smoke --out /tmp/shadow-obs-live.json
 cargo run --offline -q -p xtask --bin xtask -- bench-gate --self-test
 cargo run --offline -q -p xtask --bin xtask -- bench-gate \
   --baseline /tmp/shadow-codec.json --candidate /tmp/shadow-codec.json
+cargo run --offline -q -p xtask --bin xtask -- bench-gate \
+  --baseline /tmp/shadow-hotpath.json --candidate /tmp/shadow-hotpath.json
+cargo run --offline -q -p xtask --bin xtask -- bench-gate \
+  --baseline /tmp/shadow-obs-live.json --candidate /tmp/shadow-obs-live.json

@@ -178,6 +178,16 @@ pub mod channel {
             std::iter::from_fn(move || self.try_recv().ok())
         }
 
+        /// Values queued right now (like crossbeam's `Receiver::len`).
+        pub fn len(&self) -> usize {
+            self.0.lock().q.len()
+        }
+
+        /// True when nothing is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Receive with a deadline.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
@@ -219,10 +229,26 @@ pub mod channel {
     pub use crate::select;
 }
 
-/// Polling stand-in for `crossbeam::channel::select!`, restricted to the
-/// one shape this workspace uses: two `recv` arms plus a `default`
-/// timeout. The arm bodies see the same `Result<T, RecvError>` binding
-/// the real macro provides.
+/// Stand-in for `crossbeam::channel::select!`, restricted to the one
+/// shape this workspace uses: two `recv` arms plus a `default` timeout.
+/// The arm bodies see the same `Result<T, RecvError>` binding the real
+/// macro provides.
+///
+/// Two properties mirror the real macro and were violated by earlier
+/// stub versions — both cost days of "single-vCPU livelock" mystery:
+///
+/// 1. **Arm bodies run *outside* the macro's internal wait loop.** The
+///    wait loop only picks a ready arm; the body executes afterwards in
+///    the caller's own context, so a `break`/`continue` inside an arm
+///    targets the *caller's* loop (how the event loop shuts down), not
+///    an invisible loop inside the macro.
+/// 2. **Waiting blocks instead of sleeping.** The first arm is treated
+///    as the hot channel: when both are empty the macro parks in its
+///    `recv_timeout` (condvar wait, so a send wakes it immediately) in
+///    slices of at most 500µs, re-checking the second arm and the
+///    deadline between slices. The old flat 200µs `thread::sleep`
+///    stretched every message hop to milliseconds under one vCPU and
+///    starved real clusters into never forming a group.
 #[macro_export]
 macro_rules! select {
     (
@@ -230,38 +256,61 @@ macro_rules! select {
         recv($r2:expr) -> $p2:pat => $b2:expr,
         default($d:expr) => $bd:expr $(,)?
     ) => {{
-        let deadline = ::std::time::Instant::now() + $d;
-        loop {
-            match $r1.try_recv() {
-                ::std::result::Result::Ok(v) => {
-                    let $p1: ::std::result::Result<_, $crate::channel::RecvError> =
-                        ::std::result::Result::Ok(v);
-                    break $b1;
+        let mut __tw_sel_r1 = ::std::option::Option::None;
+        let mut __tw_sel_r2 = ::std::option::Option::None;
+        let __tw_sel_which: u8 = {
+            let deadline = ::std::time::Instant::now() + $d;
+            loop {
+                match $r2.try_recv() {
+                    ::std::result::Result::Ok(v) => {
+                        __tw_sel_r2 = ::std::option::Option::Some(
+                            ::std::result::Result::Ok(v),
+                        );
+                        break 2;
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        __tw_sel_r2 = ::std::option::Option::Some(
+                            ::std::result::Result::Err($crate::channel::RecvError),
+                        );
+                        break 2;
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
                 }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                    let $p1: ::std::result::Result<_, $crate::channel::RecvError> =
-                        ::std::result::Result::Err($crate::channel::RecvError);
-                    break $b1;
+                let now = ::std::time::Instant::now();
+                if now >= deadline {
+                    break 0;
                 }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                let slice =
+                    ::std::cmp::min(deadline - now, ::std::time::Duration::from_micros(500));
+                match $r1.recv_timeout(slice) {
+                    ::std::result::Result::Ok(v) => {
+                        __tw_sel_r1 = ::std::option::Option::Some(
+                            ::std::result::Result::Ok(v),
+                        );
+                        break 1;
+                    }
+                    ::std::result::Result::Err($crate::channel::RecvTimeoutError::Disconnected) => {
+                        __tw_sel_r1 = ::std::option::Option::Some(
+                            ::std::result::Result::Err($crate::channel::RecvError),
+                        );
+                        break 1;
+                    }
+                    ::std::result::Result::Err($crate::channel::RecvTimeoutError::Timeout) => {}
+                }
             }
-            match $r2.try_recv() {
-                ::std::result::Result::Ok(v) => {
-                    let $p2: ::std::result::Result<_, $crate::channel::RecvError> =
-                        ::std::result::Result::Ok(v);
-                    break $b2;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                    let $p2: ::std::result::Result<_, $crate::channel::RecvError> =
-                        ::std::result::Result::Err($crate::channel::RecvError);
-                    break $b2;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+        };
+        match __tw_sel_which {
+            1 => {
+                let $p1: ::std::result::Result<_, $crate::channel::RecvError> =
+                    __tw_sel_r1.take().expect("select: arm 1 chosen without a value");
+                $b1
             }
-            if ::std::time::Instant::now() >= deadline {
-                break $bd;
+            2 => {
+                let $p2: ::std::result::Result<_, $crate::channel::RecvError> =
+                    __tw_sel_r2.take().expect("select: arm 2 chosen without a value");
+                $b2
             }
-            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+            _ => $bd,
         }
     }};
 }
@@ -337,8 +386,8 @@ mod tests {
         assert_eq!(got, Some(5));
         let mut timed_out = false;
         crate::select! {
-            recv(rx1) -> m => { let _ = m; },
-            recv(rx2) -> m => { let _ = m; },
+            recv(rx1) -> m => { let _: Result<i32, _> = m; },
+            recv(rx2) -> m => { let _: Result<i32, _> = m; },
             default(Duration::from_millis(5)) => timed_out = true,
         }
         assert!(timed_out);
